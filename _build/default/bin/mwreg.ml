@@ -1,0 +1,406 @@
+(* mwreg — command-line front end for the multi-writer atomic register
+   library.
+
+     mwreg sim --protocol w2r1 -s 5 -t 1 -w 2 -r 2 --seed 7
+     mwreg threshold -s 6 -t 1 --r-max 6
+     mwreg impossibility --strategy majority-last -s 4
+     mwreg sieve -s 8 --flip 1 --flip 5
+     mwreg table1 *)
+
+open Cmdliner
+open Mwregister
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let s_arg =
+  Arg.(value & opt int 5 & info [ "s"; "servers" ] ~docv:"S" ~doc:"Number of servers.")
+
+let t_arg =
+  Arg.(value & opt int 1 & info [ "t"; "tolerance" ] ~docv:"T" ~doc:"Crash tolerance.")
+
+let w_arg =
+  Arg.(value & opt int 2 & info [ "w"; "writers" ] ~docv:"W" ~doc:"Number of writers.")
+
+let r_arg =
+  Arg.(value & opt int 2 & info [ "r"; "readers" ] ~docv:"R" ~doc:"Number of readers.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
+
+let protocol_arg =
+  let doc =
+    "Register protocol: substring match against the registry (w2r2/ls97, \
+     w2r1/huang, swmr/abd, dglv, naive)."
+  in
+  Arg.(value & opt string "w2r1" & info [ "protocol"; "p" ] ~docv:"NAME" ~doc)
+
+let find_protocol name =
+  let aliases =
+    [
+      ("w2r2", "ls97"); ("w2r1", "huang"); ("w1r2", "naive fast-write");
+      ("w1r1", "naive fast-write/fast-read"); ("swmr", "abd'95"); ("sw", "abd'95");
+    ]
+  in
+  let needle =
+    match List.assoc_opt (String.lowercase_ascii name) aliases with
+    | Some alias -> alias
+    | None -> name
+  in
+  Registry.find needle
+
+(* ------------------------------------------------------------------ *)
+(* sim                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let adversary_of_kind kind ~topology ~t ~seed =
+  match kind with
+  | "none" -> Ok Adversary.none
+  | "skips" ->
+    Ok (Adversary.random_skips ~seed ~topology ~t_budget:t ~window:30.0)
+  | "crash" ->
+    Ok (Adversary.crash_random ~seed ~t ~at:20.0 ~s:topology.Topology.servers)
+  | other -> Error (Printf.sprintf "unknown adversary %S (none|skips|crash)" other)
+
+let sim protocol s t w r seed ops adversary_kind =
+  match find_protocol protocol with
+  | None ->
+    Printf.eprintf "unknown protocol %S\n" protocol;
+    exit 1
+  | Some register ->
+    let topology = Topology.make ~servers:s ~writers:w ~readers:r in
+    (match adversary_of_kind adversary_kind ~topology ~t ~seed with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    | Ok adversary ->
+      let plans =
+        List.init w (fun i ->
+            Runtime.write_plan ~writer:i
+              ~start_at:(float_of_int (3 * i))
+              ~think:(10.0 +. float_of_int (7 * i))
+              ops)
+        @ List.init r (fun i ->
+              Runtime.read_plan ~reader:i
+                ~start_at:(1.0 +. float_of_int i)
+                ~think:(8.0 +. float_of_int (5 * i))
+                (2 * ops))
+      in
+      let v =
+        run_and_check ~seed ~register ~s ~t ~w ~r
+          ~adversary:(Adversary.apply adversary) plans
+      in
+      Format.printf "protocol    : %s@." (Registry.name register);
+      Format.printf "config      : S=%d t=%d W=%d R=%d seed=%d@." s t w r seed;
+      Format.printf "@[<v>%a@]@." History.pp v.outcome.Runtime.history;
+      Format.printf "consistency : %a@." Consistency.pp_level v.consistency;
+      (match v.atomicity_witness with
+      | None -> ()
+      | Some wit -> Format.printf "witness     : %a@." Witness.pp wit);
+      Format.printf "MWA0-4      : %s@."
+        (match v.mwa_failures with
+        | [] -> "all hold"
+        | fs -> String.concat ", " (List.map fst fs));
+      Format.printf "wait-free   : %b@." v.wait_free;
+      Format.printf "reads       : %a@." Stats.pp_summary
+        (Stats.reads v.outcome.Runtime.history);
+      Format.printf "writes      : %a@." Stats.pp_summary
+        (Stats.writes v.outcome.Runtime.history);
+      if v.consistency <> Consistency.Atomic then exit 2)
+
+let sim_cmd =
+  let ops =
+    Arg.(value & opt int 3 & info [ "ops" ] ~docv:"N" ~doc:"Writes per writer.")
+  in
+  let adversary =
+    Arg.(value & opt string "none"
+         & info [ "adversary" ] ~docv:"KIND" ~doc:"none, skips or crash.")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run a register protocol on the simulator and check it.")
+    Term.(const sim $ protocol_arg $ s_arg $ t_arg $ w_arg $ r_arg $ seed_arg
+          $ ops $ adversary)
+
+(* ------------------------------------------------------------------ *)
+(* threshold                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let threshold s t r_max =
+  Printf.printf "fast-read threshold: R < S/t - 2 = %.2f (max safe R = %d)\n\n"
+    ((float_of_int s /. float_of_int t) -. 2.0)
+    (Bounds.fast_read_threshold ~s ~t);
+  List.iter
+    (fun v ->
+      Format.printf "%a %s@." Threshold.pp_verdict v
+        (if Threshold.boundary_matches v then "" else "  <-- MISMATCH"))
+    (Threshold.sweep ~register:Registry.fastread_w2r1 ~s ~t ~r_max)
+
+let threshold_cmd =
+  let r_max =
+    Arg.(value & opt int 6 & info [ "r-max" ] ~docv:"R" ~doc:"Largest reader count.")
+  in
+  Cmd.v
+    (Cmd.info "threshold"
+       ~doc:"Sweep reader counts across the fast-read possibility boundary (Fig. 9).")
+    Term.(const threshold $ s_arg $ t_arg $ r_max)
+
+(* ------------------------------------------------------------------ *)
+(* impossibility                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let impossibility strategy_name s seed explain =
+  let open Impossible in
+  let strategy =
+    match strategy_name with
+    | "seeded" -> Strategy.seeded seed
+    | "wild" -> Strategy.seeded_wild seed
+    | name -> (
+      match
+        List.find_opt (fun st -> st.Strategy.name = name) Strategy.natural
+      with
+      | Some st -> st
+      | None ->
+        Printf.eprintf "unknown strategy %S; available: %s, seeded, wild\n" name
+          (String.concat ", "
+             (List.map (fun st -> st.Strategy.name) Strategy.natural));
+        exit 1)
+  in
+  if explain then print_string (Report.explain ~s strategy)
+  else begin
+    Printf.printf "strategy: %s, S=%d\n\n" strategy.Strategy.name s;
+    let finding, stats = W1r2_theorem.run ~s strategy in
+    Format.printf "%a@." W1r2_theorem.pp_finding finding;
+    Printf.printf "\ncritical server i1: %s, links verified: %d (failed %d)\n"
+      (match stats.W1r2_theorem.i1 with Some i -> string_of_int i | None -> "-")
+      stats.W1r2_theorem.links_checked stats.W1r2_theorem.links_failed
+  end;
+  let finding, _ = W1r2_theorem.run ~s strategy in
+  if not (W1r2_theorem.found_violation finding) then exit 2
+
+let impossibility_cmd =
+  let strategy =
+    Arg.(value & opt string "majority-last"
+         & info [ "strategy" ] ~docv:"NAME"
+             ~doc:"A natural strategy name, or 'seeded'/'wild' (with --seed).")
+  in
+  Cmd.v
+    (Cmd.info "impossibility"
+       ~doc:"Run the Theorem 1 chain argument against a fast-write strategy.")
+    Term.(const impossibility $ strategy
+          $ Arg.(value & opt int 4 & info [ "s" ])
+          $ seed_arg
+          $ Arg.(value & flag & info [ "explain" ]
+                 ~doc:"Narrate the whole three-phase walk."))
+
+(* ------------------------------------------------------------------ *)
+(* sieve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sieve s flips =
+  let open Impossible in
+  match
+    Sieve.run ~s ~effect:(Sieve.flip_servers flips) (Sieve.crucial_of_last_digits ())
+  with
+  | Sieve.Critical { sigma1; sigma2; i1; returns } ->
+    Printf.printf "S1 (eliminated) = {%s}\nS2 (kept)       = {%s}\n"
+      (String.concat ", " (List.map string_of_int sigma1))
+      (String.concat ", " (List.map string_of_int sigma2));
+    Printf.printf "returns along shortened chain: %s\n"
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int returns)));
+    Printf.printf "critical flip at position %d within S2\n" i1
+  | Sieve.Too_few_unaffected { sigma2; _ } ->
+    Printf.printf
+      "only %d unaffected servers remain (< 3): no correct implementation can \
+       behave like this\n"
+      (List.length sigma2)
+  | Sieve.Anchor_violation { expected; got; at } ->
+    Printf.printf "anchor violation at %s: expected %d, got %d\n" at expected got
+
+let sieve_cmd =
+  let flips =
+    Arg.(value & opt_all int [] & info [ "flip" ] ~docv:"SRV" ~doc:"Server whose crucial info the blind first round flips (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "sieve" ~doc:"Run the sieve construction of §4.2 (Fig. 8).")
+    Term.(const sieve $ Arg.(value & opt int 6 & info [ "s" ]) $ flips)
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let table1 s t w r =
+  Printf.printf "Table 1 verdicts for S=%d t=%d W=%d R=%d:\n\n" s t w r;
+  List.iter
+    (fun p ->
+      Printf.printf "  %-5s: %s\n"
+        (Bounds.design_point_to_string p)
+        (if Bounds.possible p ~s ~t ~w ~r then "possible" else "impossible"))
+    Bounds.all_design_points
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Evaluate the paper's Table 1 predicates for a config.")
+    Term.(const table1 $ s_arg $ t_arg $ w_arg $ r_arg)
+
+(* ------------------------------------------------------------------ *)
+(* record / check                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let record protocol s t w r seed ops path =
+  match find_protocol protocol with
+  | None ->
+    Printf.eprintf "unknown protocol %S\n" protocol;
+    exit 1
+  | Some register ->
+    let spec =
+      {
+        Generator.default with
+        Generator.writers = w;
+        readers = r;
+        writes_per_writer = ops;
+        reads_per_reader = 2 * ops;
+        seed;
+      }
+    in
+    let env = Env.make ~seed ~s ~t ~w ~r () in
+    let out = Runtime.run ~register ~env ~plans:(Generator.plans spec) () in
+    Serial.to_file out.Runtime.history ~path;
+    Printf.printf "recorded %d operations to %s\n"
+      (History.length out.Runtime.history) path
+
+let check_file path k =
+  match Serial.of_file ~path with
+  | Error msg ->
+    Printf.eprintf "cannot parse %s: %s\n" path msg;
+    exit 1
+  | Ok h ->
+    (match History.well_formed h with
+    | Error msg ->
+      Printf.printf "ill-formed: %s\n" msg;
+      exit 2
+    | Ok () -> ());
+    Format.printf "operations   : %d@." (History.length h);
+    Format.printf "consistency  : %a@." Consistency.pp_level (Consistency.classify h);
+    (match Atomicity.check h with
+    | Ok () -> (
+      match Atomicity.linearization h with
+      | Some order ->
+        Format.printf "linearization:@.";
+        List.iter (fun o -> Format.printf "  %a@." Op.pp o) order
+      | None -> ())
+    | Error wit -> Format.printf "witness      : %a@." Witness.pp wit);
+    Format.printf "staleness    : max %d, stale fraction %.2f@."
+      (Staleness.max_staleness h) (Staleness.stale_fraction h);
+    Format.printf "%d-atomic for k = %d@."
+      (Staleness.max_staleness h + 1)
+      (Staleness.max_staleness h);
+    if k >= 0 then
+      Format.printf "bounded by k=%d: %b@." k (Staleness.bounded_by h ~k);
+    if not (Atomicity.is_atomic h) then exit 2
+
+let record_cmd =
+  let ops = Arg.(value & opt int 3 & info [ "ops" ] ~docv:"N") in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"Output history file.")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Run a workload and write the history to a file.")
+    Term.(const record $ protocol_arg $ s_arg $ t_arg $ w_arg $ r_arg $ seed_arg
+          $ ops $ path)
+
+let check_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"History file to check.")
+  in
+  let k =
+    Arg.(value & opt int (-1) & info [ "k" ] ~docv:"K"
+         ~doc:"Also report whether staleness is bounded by K.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check a recorded history: atomicity (with linearization or \
+             witness), consistency level, staleness.")
+    Term.(const check_file $ path $ k)
+
+(* ------------------------------------------------------------------ *)
+(* exhaustive                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exhaustive protocol s w r max_runs =
+  match find_protocol protocol with
+  | None ->
+    Printf.eprintf "unknown protocol %S\n" protocol;
+    exit 1
+  | Some register ->
+    let o = Exhaustive.explore ~max_runs ~register ~s ~w ~r () in
+    Format.printf "%s, S=%d t=1 W=%d R=%d: %a@." (Registry.name register) s w r
+      Exhaustive.pp_outcome o;
+    if o.Exhaustive.violations > 0 then exit 2
+
+let exhaustive_cmd =
+  let max_runs =
+    Arg.(value & opt int 100_000 & info [ "max-runs" ] ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "exhaustive"
+       ~doc:"Sweep every sequential small-world schedule (orders x per-round \
+             skips) for a tiny configuration.")
+    Term.(const exhaustive $ protocol_arg
+          $ Arg.(value & opt int 3 & info [ "s"; "servers" ])
+          $ Arg.(value & opt int 2 & info [ "w"; "writers" ])
+          $ Arg.(value & opt int 1 & info [ "r"; "readers" ])
+          $ max_runs)
+
+(* ------------------------------------------------------------------ *)
+(* hunt                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let hunt protocol s t w r budget =
+  match find_protocol protocol with
+  | None ->
+    Printf.eprintf "unknown protocol %S\n" protocol;
+    exit 1
+  | Some register ->
+    Printf.printf "hunting for an atomicity violation of %s at S=%d t=%d W=%d R=%d...\n"
+      (Registry.name register) s t w r;
+    let found, runs =
+      Hunter.hunt ~seeds_per_shape:budget ~register ~s ~t ~w ~r ()
+    in
+    (match found with
+    | Some f ->
+      Format.printf "%a@." Hunter.pp_found f;
+      exit 2
+    | None ->
+      Printf.printf
+        "no violation in %d runs across %d schedule shapes (evidence of \
+         possibility, not proof)\n"
+        runs
+        (List.length Hunter.all_shapes))
+
+let hunt_cmd =
+  let budget =
+    Arg.(value & opt int 50 & info [ "budget" ] ~docv:"N"
+         ~doc:"Seeds per schedule shape.")
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:"Search adversarial schedules for an atomicity violation of a \
+             protocol at a configuration.")
+    Term.(const hunt $ protocol_arg $ s_arg $ t_arg $ w_arg $ r_arg $ budget)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "mwreg" ~version
+      ~doc:"Fast implementations of distributed multi-writer atomic registers."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ sim_cmd; threshold_cmd; impossibility_cmd; sieve_cmd; table1_cmd;
+            record_cmd; check_cmd; exhaustive_cmd; hunt_cmd ]))

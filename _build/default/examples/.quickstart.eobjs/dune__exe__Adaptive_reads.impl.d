@@ -1,0 +1,1 @@
+examples/adaptive_reads.ml: Latency List Mwregister Option Printf Registry Runtime Stats String Threshold

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Adversary Consistency History List Mwregister Op Printf Registry Runtime Topology

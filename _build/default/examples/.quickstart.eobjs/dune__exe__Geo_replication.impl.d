@@ -1,0 +1,1 @@
+examples/geo_replication.ml: Bounds Consistency Latency List Mwregister Printf Register_intf Registry Runtime Stats String

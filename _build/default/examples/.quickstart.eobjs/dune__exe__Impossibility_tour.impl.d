@@ -1,0 +1,1 @@
+examples/impossibility_tour.ml: Array Chain_alpha Format List Mwregister Printf Registry Sieve Strategy String Threshold W1r2_theorem

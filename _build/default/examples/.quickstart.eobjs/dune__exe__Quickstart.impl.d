@@ -1,0 +1,1 @@
+examples/quickstart.ml: Consistency Format History Mwregister Registry Runtime Stats

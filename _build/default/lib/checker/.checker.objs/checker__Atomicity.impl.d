@@ -1,0 +1,1 @@
+lib/checker/atomicity.ml: Array Hashtbl Histories History List Op Witness

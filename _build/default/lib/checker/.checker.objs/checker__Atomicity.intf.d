@@ -1,0 +1,1 @@
+lib/checker/atomicity.mli: Histories History Op Witness

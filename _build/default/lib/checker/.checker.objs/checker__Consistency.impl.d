@@ -1,0 +1,1 @@
+lib/checker/consistency.ml: Atomicity Format Histories History List Op Witness

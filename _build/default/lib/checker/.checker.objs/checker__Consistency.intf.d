@@ -1,0 +1,1 @@
+lib/checker/consistency.mli: Format Histories History Witness

@@ -1,0 +1,1 @@
+lib/checker/interval.ml: Array Atomicity Hashtbl Histories History List Op Witness

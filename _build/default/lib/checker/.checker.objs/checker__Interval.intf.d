@@ -1,0 +1,1 @@
+lib/checker/interval.mli: Histories History Witness

@@ -1,0 +1,1 @@
+lib/checker/linearizability.ml: Array Hashtbl Histories History Op Printf

@@ -1,0 +1,1 @@
+lib/checker/mw_properties.ml: Format Histories List Op Witness

@@ -1,0 +1,1 @@
+lib/checker/mw_properties.mli: Format Histories Op Witness

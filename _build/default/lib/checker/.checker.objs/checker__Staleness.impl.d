@@ -1,0 +1,1 @@
+lib/checker/staleness.ml: Atomicity Hashtbl Histories History List Op Option

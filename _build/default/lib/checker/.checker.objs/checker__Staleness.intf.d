@@ -1,0 +1,1 @@
+lib/checker/staleness.mli: Histories History Op

@@ -1,0 +1,1 @@
+lib/checker/witness.ml: Format Histories Op

@@ -1,0 +1,1 @@
+lib/checker/witness.mli: Format Histories Op

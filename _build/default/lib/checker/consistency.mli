@@ -1,0 +1,38 @@
+(** Weaker consistency levels, for the latency/consistency lattice (Fig. 2).
+
+    The paper's Fig. 2 orders the four design points by "stronger
+    consistency / lower latency".  To make the weak side of that lattice
+    measurable we grade each history on the classical ladder
+    safe ⊂ regular ⊂ atomic (multi-writer generalisations): a fast
+    protocol that loses atomicity usually still lands on a lower rung,
+    and the `fig2` benchmark reports which one. *)
+
+open Histories
+
+type level =
+  | Atomic        (** Definition 2.1 holds. *)
+  | Regular       (** Every read returns the value of a write that is
+                      concurrent with it or not superseded before it. *)
+  | Safe          (** Reads with no concurrent write behave like regular
+                      reads; concurrent reads return any written value. *)
+  | Inconsistent  (** Not even safe. *)
+
+val pp_level : Format.formatter -> level -> unit
+val level_to_string : level -> string
+
+val compare_level : level -> level -> int
+(** Orders [Inconsistent < Safe < Regular < Atomic]. *)
+
+val check_regular : History.t -> (unit, Witness.t) result
+(** Multi-writer regularity: each completed read [r] must return the
+    value of some write [w] (or the initial value) such that [w] does not
+    begin after [r] ends, and no other write lies entirely between [w]
+    and [r].  Per-read condition; no global ordering required. *)
+
+val check_safe : History.t -> (unit, Witness.t) result
+(** Reads with at least one concurrent write need only return *some*
+    written-or-initial value; reads without concurrent writes must
+    satisfy the regular condition. *)
+
+val classify : History.t -> level
+(** Highest rung of the ladder the history reaches. *)

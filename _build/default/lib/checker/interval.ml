@@ -1,0 +1,99 @@
+open Histories
+
+type cluster = {
+  write : Op.t;
+  mutable a : float; (* earliest response in the cluster *)
+  mutable b : float; (* latest invocation in the cluster *)
+}
+
+let resp_of (o : Op.t) = match o.Op.resp with None -> infinity | Some f -> f
+
+let check h =
+  (match History.well_formed h with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Interval.check: ill-formed history: " ^ msg));
+  if not (History.unique_writes h) then
+    invalid_arg "Interval.check: written values are not unique";
+  let h = History.strip_pending_reads h in
+  let history_size = History.length h in
+  let clusters = Hashtbl.create 32 in
+  let add_cluster (w : Op.t) =
+    match Op.written_value w with
+    | None -> ()
+    | Some v ->
+      Hashtbl.replace clusters v { write = w; a = resp_of w; b = w.Op.inv }
+  in
+  add_cluster Atomicity.initial_write;
+  List.iter add_cluster (History.writes h);
+  (* Fold reads into their clusters; local conditions on the way. *)
+  let exception Bad of Witness.t in
+  try
+    List.iter
+      (fun (r : Op.t) ->
+        match r.Op.result with
+        | None -> ()
+        | Some v -> (
+          match Hashtbl.find_opt clusters v with
+          | None ->
+            raise
+              (Bad
+                 (Witness.make
+                    (Witness.Unwritten_value { read = r; value = v })
+                    ~history_size))
+          | Some c ->
+            if Op.precedes r c.write then
+              raise
+                (Bad
+                   (Witness.make
+                      (Witness.Future_read { read = r; write = c.write })
+                      ~history_size));
+            c.a <- min c.a (resp_of r);
+            c.b <- max c.b r.Op.inv))
+      (History.reads h);
+    (* Sweep: clusters sorted by [a]; for each, a conflicting earlier
+       cluster exists iff among those with a(u) < b(v) some b(u) > a(v).
+       Earlier clusters are exactly a prefix of the sorted order, so a
+       prefix maximum of b answers the query. *)
+    let cs =
+      Hashtbl.fold (fun _ c acc -> c :: acc) clusters []
+      |> List.sort (fun c1 c2 -> compare (c1.a, c1.write.Op.id) (c2.a, c2.write.Op.id))
+      |> Array.of_list
+    in
+    let n = Array.length cs in
+    let prefix_max_b = Array.make (n + 1) neg_infinity in
+    let prefix_argmax = Array.make (n + 1) (-1) in
+    for i = 0 to n - 1 do
+      if cs.(i).b > prefix_max_b.(i) then begin
+        prefix_max_b.(i + 1) <- cs.(i).b;
+        prefix_argmax.(i + 1) <- i
+      end
+      else begin
+        prefix_max_b.(i + 1) <- prefix_max_b.(i);
+        prefix_argmax.(i + 1) <- prefix_argmax.(i)
+      end
+    done;
+    for v = 0 to n - 1 do
+      (* Prefix of clusters u (u < v in sort order, so a(u) <= a(v)) with
+         strictly a(u) < b(v): binary search the first index with
+         a >= b(v); everything before it qualifies.  Among those, u
+         conflicts with v iff b(u) > a(v). *)
+      let lo = ref 0 and hi = ref v in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cs.(mid).a < cs.(v).b then lo := mid + 1 else hi := mid
+      done;
+      let prefix_len = !lo in
+      if prefix_len > 0 && prefix_max_b.(prefix_len) > cs.(v).a then begin
+        let u = prefix_argmax.(prefix_len) in
+        if u <> v then
+          raise
+            (Bad
+               (Witness.make
+                  (Witness.Ordering_cycle [ cs.(u).write; cs.(v).write ])
+                  ~history_size))
+      end
+    done;
+    Ok ()
+  with Bad w -> Error w
+
+let is_atomic h = match check h with Ok () -> true | Error _ -> false

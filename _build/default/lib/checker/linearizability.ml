@@ -1,0 +1,72 @@
+open Histories
+
+let max_ops = 62
+
+let linearize h =
+  (match History.well_formed h with
+  | Ok () -> ()
+  | Error msg ->
+    invalid_arg ("Linearizability.linearize: ill-formed history: " ^ msg));
+  let h = History.strip_pending_reads h in
+  let ops = Array.of_list (History.ops h) in
+  let n = Array.length ops in
+  if n > max_ops then
+    invalid_arg
+      (Printf.sprintf "Linearizability.linearize: %d ops exceeds max %d" n max_ops);
+  (* preds.(i) = bitmask of operations that must be linearized before i
+     can be (real-time predecessors). *)
+  let preds = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Op.precedes ops.(j) ops.(i) then
+        preds.(i) <- preds.(i) lor (1 lsl j)
+    done
+  done;
+  let visited = Hashtbl.create 4096 in
+  (* done_mask: ops already linearized. state: current register value.
+     Returns the reversed linearization suffix on success. *)
+  let rec search done_mask state =
+    if Hashtbl.mem visited (done_mask, state) then None
+    else begin
+      (* Success when every remaining op is a pending write (which we may
+         declare to have never taken effect). *)
+      let remaining_all_pending = ref true in
+      for i = 0 to n - 1 do
+        if done_mask land (1 lsl i) = 0 then
+          if Op.is_complete ops.(i) || Op.is_read ops.(i) then
+            remaining_all_pending := false
+      done;
+      if !remaining_all_pending then Some []
+      else begin
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let idx = !i in
+          incr i;
+          if done_mask land (1 lsl idx) = 0 && preds.(idx) land lnot done_mask = 0
+          then begin
+            let o = ops.(idx) in
+            let next =
+              match o.Op.kind with
+              | Op.Write v -> Some v
+              | Op.Read -> (
+                match o.Op.result with
+                | Some r when r = state -> Some state
+                | _ -> None)
+            in
+            match next with
+            | None -> ()
+            | Some state' -> (
+              match search (done_mask lor (1 lsl idx)) state' with
+              | Some tail -> result := Some (o :: tail)
+              | None -> ())
+          end
+        done;
+        if !result = None then Hashtbl.replace visited (done_mask, state) ();
+        !result
+      end
+    end
+  in
+  search 0 History.initial_value
+
+let check h = linearize h <> None

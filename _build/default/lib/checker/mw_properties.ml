@@ -1,0 +1,194 @@
+open Histories
+
+type tag = { ts : int; wid : int }
+
+let initial_tag = { ts = 0; wid = -1 }
+
+let compare_tag a b =
+  let c = compare a.ts b.ts in
+  if c <> 0 then c else compare a.wid b.wid
+
+let pp_tag ppf t = Format.fprintf ppf "(%d,w%d)" t.ts t.wid
+
+type tagged = { op : Op.t; tag : tag option }
+
+type report = {
+  mwa0 : Witness.t option;
+  mwa1 : Witness.t option;
+  mwa2 : Witness.t option;
+  mwa3 : Witness.t option;
+  mwa4 : Witness.t option;
+}
+
+let all_ok r =
+  r.mwa0 = None && r.mwa1 = None && r.mwa2 = None && r.mwa3 = None && r.mwa4 = None
+
+let failures r =
+  List.filter_map
+    (fun (name, w) -> match w with None -> None | Some w -> Some (name, w))
+    [ ("MWA0", r.mwa0); ("MWA1", r.mwa1); ("MWA2", r.mwa2); ("MWA3", r.mwa3);
+      ("MWA4", r.mwa4) ]
+
+let tag_exn t =
+  match t.tag with
+  | Some tag -> tag
+  | None ->
+    invalid_arg
+      (Format.asprintf "Mw_properties: operation %a lacks a (ts,wid) tag" Op.pp
+         t.op)
+
+let property ~name ~detail culprits size =
+  Some
+    (Witness.make
+       (Witness.Property { name; detail; culprits = List.map (fun t -> t.op) culprits })
+       ~history_size:size)
+
+let check tagged =
+  let size = List.length tagged in
+  (* A pending write never carries a tag (its protocol never chose one)
+     and imposes no obligation: it precedes nothing, and no completed
+     read can name it.  Drop pending writes up front. *)
+  let writes =
+    List.filter (fun t -> Op.is_write t.op && Op.is_complete t.op) tagged
+  in
+  let pending_writes_exist =
+    List.exists (fun t -> Op.is_write t.op && not (Op.is_complete t.op)) tagged
+  in
+  let reads =
+    List.filter (fun t -> Op.is_read t.op && Op.is_complete t.op) tagged
+  in
+  List.iter (fun t -> ignore (tag_exn t : tag)) (writes @ reads);
+  (* MWA0: wr ≺ wr' implies tag wr < tag wr'. *)
+  let mwa0 =
+    List.fold_left
+      (fun acc w1 ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          List.fold_left
+            (fun acc w2 ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if
+                  Op.precedes w1.op w2.op
+                  && compare_tag (tag_exn w1) (tag_exn w2) >= 0
+                then
+                  property ~name:"MWA0"
+                    ~detail:
+                      (Format.asprintf
+                         "write %a precedes write %a but tags are %a ≥ %a"
+                         Op.pp w1.op Op.pp w2.op pp_tag (tag_exn w1) pp_tag
+                         (tag_exn w2))
+                    [ w1; w2 ] size
+                else None)
+            None writes)
+      None writes
+  in
+  (* MWA1: reads return non-negative timestamps (with a wid). *)
+  let mwa1 =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let t = tag_exn r in
+          if t.ts < 0 then
+            property ~name:"MWA1"
+              ~detail:(Format.asprintf "read returned negative timestamp %a" pp_tag t)
+              [ r ] size
+          else None)
+      None reads
+  in
+  (* MWA2: read rd follows write wr(k,i) implies tag rd ≥ (k,i). *)
+  let mwa2 =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          List.fold_left
+            (fun acc w ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if
+                  Op.precedes w.op r.op
+                  && compare_tag (tag_exn r) (tag_exn w) < 0
+                then
+                  property ~name:"MWA2"
+                    ~detail:
+                      (Format.asprintf
+                         "read %a follows write %a but returned %a < %a" Op.pp
+                         r.op Op.pp w.op pp_tag (tag_exn r) pp_tag (tag_exn w))
+                    [ w; r ] size
+                else None)
+            None writes)
+      None reads
+  in
+  (* MWA3: a read returning (k,wi) must not precede wr(k,i). *)
+  let mwa3 =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let t = tag_exn r in
+          if compare_tag t initial_tag = 0 then None
+          else begin
+            match
+              List.find_opt (fun w -> compare_tag (tag_exn w) t = 0) writes
+            with
+            | None ->
+              (* A pending write's tag is unknown; the read may have
+                 legitimately observed it, so stay inconclusive. *)
+              if pending_writes_exist then None
+              else
+                property ~name:"MWA3"
+                  ~detail:
+                    (Format.asprintf
+                       "read returned %a but no write carries that tag" pp_tag t)
+                  [ r ] size
+            | Some w ->
+              if Op.precedes r.op w.op then
+                property ~name:"MWA3"
+                  ~detail:
+                    (Format.asprintf "read %a precedes the write %a of its value"
+                       Op.pp r.op Op.pp w.op)
+                  [ r; w ] size
+              else None
+          end)
+      None reads
+  in
+  (* MWA4: rd2 follows rd1 implies tag rd2 ≥ tag rd1. *)
+  let mwa4 =
+    List.fold_left
+      (fun acc r1 ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          List.fold_left
+            (fun acc r2 ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if
+                  Op.precedes r1.op r2.op
+                  && compare_tag (tag_exn r2) (tag_exn r1) < 0
+                then
+                  property ~name:"MWA4"
+                    ~detail:
+                      (Format.asprintf
+                         "read %a follows read %a but returned %a < %a (new/old inversion)"
+                         Op.pp r2.op Op.pp r1.op pp_tag (tag_exn r2) pp_tag
+                         (tag_exn r1))
+                    [ r1; r2 ] size
+                else None)
+            None reads)
+      None reads
+  in
+  { mwa0; mwa1; mwa2; mwa3; mwa4 }
+
+let check_ok tagged =
+  let r = check tagged in
+  match failures r with [] -> Ok () | (_, w) :: _ -> Error w

@@ -1,0 +1,46 @@
+(** The multi-writer atomicity properties MWA0–MWA4 of Appendix A.
+
+    The paper proves Algorithm 1 & 2 correct by establishing five
+    properties over the values [(ts, wid)] that operations carry.  This
+    module checks those properties directly on *tagged* histories — runs
+    of a protocol in which every write is annotated with the timestamp it
+    chose and every completed read with the timestamp of the value it
+    returned.  Together the properties imply atomicity (the partial order
+    ≺π of Appendix A.1), so this checker is both an independent test of
+    the implementation and an executable rendition of the paper's proof
+    obligations. *)
+
+open Histories
+
+type tag = { ts : int; wid : int }
+(** A value identifier: version number and writer id, ordered
+    lexicographically ([(ts₁,w₁) < (ts₂,w₂)] iff [ts₁ < ts₂] or equal
+    [ts] and [w₁ < w₂]). *)
+
+val initial_tag : tag
+(** [(0, ⊥)] — the tag of the initial value (wid = −1). *)
+
+val compare_tag : tag -> tag -> int
+val pp_tag : Format.formatter -> tag -> unit
+
+type tagged = { op : Op.t; tag : tag option }
+(** [tag] is [Some] for writes and completed reads, [None] for pending
+    reads (which carry no obligation). *)
+
+type report = {
+  mwa0 : Witness.t option;  (** Non-concurrent writes get increasing tags. *)
+  mwa1 : Witness.t option;  (** Reads return non-negative timestamps. *)
+  mwa2 : Witness.t option;  (** A read following a write returns ≥ its tag. *)
+  mwa3 : Witness.t option;  (** A read never returns a tag whose write it precedes. *)
+  mwa4 : Witness.t option;  (** Non-concurrent reads get non-decreasing tags. *)
+}
+
+val all_ok : report -> bool
+val failures : report -> (string * Witness.t) list
+
+val check : tagged list -> report
+(** Evaluate all five properties.  Raises [Invalid_argument] if a write
+    or completed read lacks a tag. *)
+
+val check_ok : tagged list -> (unit, Witness.t) result
+(** First failing property, if any. *)

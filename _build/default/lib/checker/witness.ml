@@ -1,0 +1,43 @@
+open Histories
+
+type reason =
+  | Unwritten_value of { read : Op.t; value : int }
+  | Future_read of { read : Op.t; write : Op.t }
+  | Stale_read of { read : Op.t; write : Op.t; newer : Op.t }
+  | Ordering_cycle of Op.t list
+  | Property of { name : string; detail : string; culprits : Op.t list }
+
+type t = { reason : reason; history_size : int }
+
+let make reason ~history_size = { reason; history_size }
+
+let short t =
+  match t.reason with
+  | Unwritten_value _ -> "unwritten-value"
+  | Future_read _ -> "future-read"
+  | Stale_read _ -> "stale-read"
+  | Ordering_cycle _ -> "ordering-cycle"
+  | Property { name; _ } -> name
+
+let pp ppf t =
+  match t.reason with
+  | Unwritten_value { read; value } ->
+    Format.fprintf ppf "@[<v2>read returned value %d that was never written:@,%a@]"
+      value Op.pp read
+  | Future_read { read; write } ->
+    Format.fprintf ppf
+      "@[<v2>read returned a value written by an operation invoked after the read responded:@,%a@,%a@]"
+      Op.pp read Op.pp write
+  | Stale_read { read; write; newer } ->
+    Format.fprintf ppf
+      "@[<v2>stale read: a newer write lies entirely between the read's write and the read:@,read:  %a@,from:  %a@,newer: %a@]"
+      Op.pp read Op.pp write Op.pp newer
+  | Ordering_cycle ops ->
+    Format.fprintf ppf
+      "@[<v2>no sequential permutation satisfies the ordering obligations; cycle:@,%a@]"
+      (Format.pp_print_list Op.pp) ops
+  | Property { name; detail; culprits } ->
+    Format.fprintf ppf "@[<v2>property %s violated: %s@,%a@]" name detail
+      (Format.pp_print_list Op.pp) culprits
+
+let to_string t = Format.asprintf "%a" pp t

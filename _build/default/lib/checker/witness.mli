@@ -1,0 +1,35 @@
+(** Violation witnesses.
+
+    When a checker rejects a history it produces a witness explaining
+    *why*, in terms of the paper's Definition 2.1: a read that returns a
+    value that was never written, a read from the future, or a cycle of
+    ordering obligations that no sequential permutation π can satisfy. *)
+
+open Histories
+
+type reason =
+  | Unwritten_value of { read : Op.t; value : int }
+      (** The read returned a value no write (and not the initial value)
+          ever stored. *)
+  | Future_read of { read : Op.t; write : Op.t }
+      (** The read responded before the write of its value was invoked —
+          violates the real-time requirement. *)
+  | Stale_read of { read : Op.t; write : Op.t; newer : Op.t }
+      (** [newer] was written entirely between [write] and [read], so the
+          read's value is not that of the latest preceding write. *)
+  | Ordering_cycle of Op.t list
+      (** A cycle of operations whose ordering obligations (real-time +
+          read-from) cannot be embedded in any sequential permutation. *)
+  | Property of { name : string; detail : string; culprits : Op.t list }
+      (** A named property (e.g. MWA4) failed. *)
+
+type t = { reason : reason; history_size : int }
+
+val make : reason -> history_size:int -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val short : t -> string
+(** One-line classification, e.g. ["stale-read"]. *)

@@ -1,0 +1,1 @@
+lib/history/serial.ml: History List Op Option Printf Result String

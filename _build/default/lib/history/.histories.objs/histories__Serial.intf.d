@@ -1,0 +1,1 @@
+lib/history/serial.mli: History

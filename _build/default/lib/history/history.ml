@@ -1,0 +1,136 @@
+type t = { sorted : Op.t list }
+
+let initial_value = 0
+
+let compare_op (a : Op.t) (b : Op.t) =
+  let c = compare a.Op.inv b.Op.inv in
+  if c <> 0 then c else compare a.Op.id b.Op.id
+
+let of_ops ops =
+  let sorted = List.sort compare_op ops in
+  let ids = Hashtbl.create (List.length sorted) in
+  List.iter
+    (fun (o : Op.t) ->
+      if Hashtbl.mem ids o.Op.id then
+        invalid_arg (Printf.sprintf "History.of_ops: duplicate op id %d" o.Op.id);
+      Hashtbl.replace ids o.Op.id ())
+    sorted;
+  { sorted }
+
+let ops t = t.sorted
+
+let length t = List.length t.sorted
+
+let writes t = List.filter Op.is_write t.sorted
+
+let reads t = List.filter Op.is_read t.sorted
+
+let find t id = List.find_opt (fun (o : Op.t) -> o.Op.id = id) t.sorted
+
+let procs t =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (o : Op.t) ->
+      if Hashtbl.mem seen o.Op.proc then acc
+      else begin
+        Hashtbl.replace seen o.Op.proc ();
+        o.Op.proc :: acc
+      end)
+    [] t.sorted
+  |> List.rev
+
+let well_formed t =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let check_op (o : Op.t) =
+    let* () =
+      match (o.Op.proc, o.Op.kind) with
+      | Op.Writer _, Op.Write _ | Op.Reader _, Op.Read -> Ok ()
+      | Op.Writer _, Op.Read ->
+        Error (Printf.sprintf "op #%d: a writer invoked read()" o.Op.id)
+      | Op.Reader _, Op.Write _ ->
+        Error (Printf.sprintf "op #%d: a reader invoked write()" o.Op.id)
+    in
+    match o.Op.resp with
+    | Some f when f < o.Op.inv ->
+      Error (Printf.sprintf "op #%d: response %.3f before invocation %.3f" o.Op.id f o.Op.inv)
+    | _ -> Ok ()
+  in
+  let rec check_all = function
+    | [] -> Ok ()
+    | o :: rest ->
+      let* () = check_op o in
+      check_all rest
+  in
+  let check_proc_sequential proc =
+    let mine =
+      List.filter (fun (o : Op.t) -> Op.proc_equal o.Op.proc proc) t.sorted
+    in
+    let rec go = function
+      | [] | [ _ ] -> Ok ()
+      | a :: (b :: _ as rest) ->
+        (match a.Op.resp with
+        | None ->
+          Error
+            (Format.asprintf "process %a has an operation after a pending one"
+               Op.pp_proc proc)
+        | Some f ->
+          if f > b.Op.inv then
+            Error
+              (Format.asprintf "process %a has overlapping operations #%d,#%d"
+                 Op.pp_proc proc a.Op.id b.Op.id)
+          else go rest)
+    in
+    go mine
+  in
+  let rec check_procs = function
+    | [] -> Ok ()
+    | p :: rest ->
+      let* () = check_proc_sequential p in
+      check_procs rest
+  in
+  let* () = check_all t.sorted in
+  check_procs (procs t)
+
+let unique_writes t =
+  let tbl = Hashtbl.create 64 in
+  List.for_all
+    (fun (o : Op.t) ->
+      match Op.written_value o with
+      | None -> true
+      | Some v ->
+        if v = initial_value || Hashtbl.mem tbl v then false
+        else begin
+          Hashtbl.replace tbl v ();
+          true
+        end)
+    t.sorted
+
+let strip_pending_reads t =
+  { sorted = List.filter (fun (o : Op.t) -> Op.is_write o || Op.is_complete o) t.sorted }
+
+let pending_writes t =
+  List.filter (fun (o : Op.t) -> Op.is_write o && not (Op.is_complete o)) t.sorted
+
+let max_time t =
+  List.fold_left
+    (fun acc (o : Op.t) ->
+      let m = match o.Op.resp with None -> o.Op.inv | Some f -> f in
+      max acc m)
+    0.0 t.sorted
+
+let complete_writes t ~at =
+  {
+    sorted =
+      List.map
+        (fun (o : Op.t) ->
+          if Op.is_write o && not (Op.is_complete o) then { o with Op.resp = Some at }
+          else o)
+        t.sorted;
+  }
+
+let restrict t ~f = { sorted = List.filter f t.sorted }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun o -> Format.fprintf ppf "%a@," Op.pp o) t.sorted;
+  Format.fprintf ppf "@]"

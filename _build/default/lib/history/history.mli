@@ -1,0 +1,56 @@
+(** Executions of clients accessing the shared register (§2.1).
+
+    A history is the sequence of invocation and response events of read
+    and write operations, represented as a set of {!Op.t} values carrying
+    their timestamps.  This module provides well-formedness (each client
+    is sequential), the real-time partial order, and the conventions the
+    checkers rely on (an initial value, unique written values). *)
+
+type t
+
+val initial_value : int
+(** The value the register holds before any write (written by the paper's
+    notional [wr_{0,⊥}]).  Workloads must not write this value. *)
+
+val of_ops : Op.t list -> t
+(** Build a history; operations are re-sorted by invocation time (ties by
+    id) and ids must be unique. *)
+
+val ops : t -> Op.t list
+(** In invocation order. *)
+
+val length : t -> int
+val writes : t -> Op.t list
+val reads : t -> Op.t list
+val find : t -> int -> Op.t option
+
+val procs : t -> Op.proc list
+(** Distinct processes appearing, in order of first appearance. *)
+
+val well_formed : t -> (unit, string) result
+(** Checks that: ids are unique; [resp >= inv] on completed operations;
+    each process's operations are sequential (no two overlap, at most one
+    pending and it is last); writers only write and readers only read. *)
+
+val unique_writes : t -> bool
+(** All written values are pairwise distinct and differ from
+    {!initial_value}.  Precondition of the polynomial atomicity checker. *)
+
+val strip_pending_reads : t -> t
+(** Remove reads that never responded.  A pending read imposes no
+    atomicity obligation, so checkers may discard them. *)
+
+val pending_writes : t -> Op.t list
+
+val complete_writes : t -> at:float -> t
+(** Give every pending write a response at time [at] (conventionally past
+    every other event): a pending write may always be linearized as having
+    taken effect.  Checkers try histories both with and without pending
+    writes; including them with a late response is the permissive choice. *)
+
+val max_time : t -> float
+(** Largest timestamp appearing in the history (0 if empty). *)
+
+val restrict : t -> f:(Op.t -> bool) -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type pending = {
+  id : int;
+  proc : Op.proc;
+  kind : Op.kind;
+  inv : float;
+  mutable resp : float option;
+  mutable result : int option;
+}
+
+type handle = pending
+
+type t = {
+  mutable next_id : int;
+  mutable next_value : int;
+  mutable entries : pending list; (* newest first *)
+  mutable n_completed : int;
+}
+
+let create () =
+  { next_id = 0; next_value = History.initial_value + 1; entries = []; n_completed = 0 }
+
+let begin_op t ~proc ~kind ~now =
+  let p = { id = t.next_id; proc; kind; inv = now; resp = None; result = None } in
+  t.next_id <- t.next_id + 1;
+  t.entries <- p :: t.entries;
+  p
+
+let begin_write t ~proc ~value ~now = begin_op t ~proc ~kind:(Op.Write value) ~now
+
+let begin_read t ~proc ~now = begin_op t ~proc ~kind:Op.Read ~now
+
+let finish_write t h ~now =
+  assert (h.resp = None);
+  h.resp <- Some now;
+  t.n_completed <- t.n_completed + 1
+
+let finish_read t h ~now ~result =
+  assert (h.resp = None);
+  h.resp <- Some now;
+  h.result <- Some result;
+  t.n_completed <- t.n_completed + 1
+
+let fresh_value t =
+  let v = t.next_value in
+  t.next_value <- v + 1;
+  v
+
+let snapshot t =
+  let to_op (p : pending) : Op.t =
+    { Op.id = p.id; proc = p.proc; kind = p.kind; inv = p.inv; resp = p.resp; result = p.result }
+  in
+  History.of_ops (List.rev_map to_op t.entries)
+
+let completed t = t.n_completed
+
+let handle_id (h : handle) = h.id

@@ -1,0 +1,32 @@
+(** Incremental history construction.
+
+    The protocol runtime wraps every client operation in a
+    [begin_op] / [finish_*] pair; the recorder assigns ids, timestamps the
+    events with the virtual clock supplied by the caller, and produces the
+    final {!History.t}. *)
+
+type t
+
+type handle
+(** An in-flight operation. *)
+
+val handle_id : handle -> int
+(** The operation id this handle will carry in the final history. *)
+
+val create : unit -> t
+
+val begin_write : t -> proc:Op.proc -> value:int -> now:float -> handle
+val begin_read : t -> proc:Op.proc -> now:float -> handle
+
+val finish_write : t -> handle -> now:float -> unit
+val finish_read : t -> handle -> now:float -> result:int -> unit
+
+val fresh_value : t -> int
+(** A globally unique value (> {!History.initial_value}) for the next
+    write, so histories satisfy {!History.unique_writes}. *)
+
+val snapshot : t -> History.t
+(** The history so far; operations still in flight appear as pending. *)
+
+val completed : t -> int
+(** Number of completed operations. *)

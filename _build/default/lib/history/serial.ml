@@ -1,0 +1,99 @@
+let float_to_string f = Printf.sprintf "%h" f
+
+let resp_to_string = function None -> "-" | Some f -> float_to_string f
+
+let op_to_string (o : Op.t) =
+  let proc =
+    match o.Op.proc with
+    | Op.Writer i -> Printf.sprintf "w%d" i
+    | Op.Reader i -> Printf.sprintf "r%d" i
+  in
+  match o.Op.kind with
+  | Op.Write v ->
+    Printf.sprintf "w %d %s %d %s %s" o.Op.id proc v (float_to_string o.Op.inv)
+      (resp_to_string o.Op.resp)
+  | Op.Read ->
+    Printf.sprintf "r %d %s %s %s %s" o.Op.id proc (float_to_string o.Op.inv)
+      (resp_to_string o.Op.resp)
+      (match o.Op.result with None -> "-" | Some v -> string_of_int v)
+
+let to_string h =
+  String.concat "\n" (List.map op_to_string (History.ops h)) ^ "\n"
+
+let parse_proc s =
+  if String.length s < 2 then Error (Printf.sprintf "bad process %S" s)
+  else
+    let idx = String.sub s 1 (String.length s - 1) in
+    match (s.[0], int_of_string_opt idx) with
+    | 'w', Some i -> Ok (Op.Writer i)
+    | 'r', Some i -> Ok (Op.Reader i)
+    | _ -> Error (Printf.sprintf "bad process %S" s)
+
+let parse_float s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "bad float %S" s)
+
+let parse_resp s =
+  if s = "-" then Ok None
+  else match parse_float s with Ok f -> Ok (Some f) | Error e -> Error e
+
+let parse_line line =
+  let ( let* ) r f = Result.bind r f in
+  match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+  | [ "w"; id; proc; value; inv; resp ] ->
+    let* id =
+      Option.to_result ~none:(Printf.sprintf "bad id %S" id) (int_of_string_opt id)
+    in
+    let* proc = parse_proc proc in
+    let* value =
+      Option.to_result ~none:(Printf.sprintf "bad value %S" value)
+        (int_of_string_opt value)
+    in
+    let* inv = parse_float inv in
+    let* resp = parse_resp resp in
+    Ok (Some (Op.write ~id ~proc ~value ~inv ~resp))
+  | [ "r"; id; proc; inv; resp; result ] ->
+    let* id =
+      Option.to_result ~none:(Printf.sprintf "bad id %S" id) (int_of_string_opt id)
+    in
+    let* proc = parse_proc proc in
+    let* inv = parse_float inv in
+    let* resp = parse_resp resp in
+    let* result =
+      if result = "-" then Ok None
+      else
+        match int_of_string_opt result with
+        | Some v -> Ok (Some v)
+        | None -> Error (Printf.sprintf "bad result %S" result)
+    in
+    Ok (Some (Op.read ~id ~proc ~inv ~resp ~result))
+  | [] -> Ok None
+  | first :: _ when String.length first > 0 && first.[0] = '#' -> Ok None
+  | _ -> Error (Printf.sprintf "unparseable line %S" line)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (History.of_ops (List.rev acc))
+    | line :: rest -> (
+      match parse_line line with
+      | Ok None -> go acc (lineno + 1) rest
+      | Ok (Some op) -> go (op :: acc) (lineno + 1) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  match go [] 1 lines with
+  | exception Invalid_argument msg -> Error msg
+  | result -> result
+
+let to_file h ~path =
+  let oc = open_out path in
+  output_string oc (to_string h);
+  close_out oc
+
+let of_file ~path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text

@@ -1,0 +1,22 @@
+(** Plain-text history serialization.
+
+    One operation per line, whitespace-separated:
+
+    {v
+    w <id> w<widx> <value> <inv> <resp|->
+    r <id> r<ridx> <inv> <resp|-> <result|->
+    v}
+
+    ["-"] marks a pending response / absent result.  Lines starting with
+    [#] and blank lines are ignored.  The format round-trips exactly
+    (floats are printed with full precision), so recorded histories can
+    be re-checked, diffed, and shipped as bug reports. *)
+
+val to_string : History.t -> string
+
+val of_string : string -> (History.t, string) result
+(** Parse; the error carries the offending line. *)
+
+val to_file : History.t -> path:string -> unit
+
+val of_file : path:string -> (History.t, string) result

@@ -1,0 +1,1 @@
+lib/impossibility/chain_alpha.ml: Array Exec_model Printf Strategy Token

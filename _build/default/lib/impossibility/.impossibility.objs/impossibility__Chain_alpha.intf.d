@@ -1,0 +1,1 @@
+lib/impossibility/chain_alpha.mli: Exec_model Strategy Token

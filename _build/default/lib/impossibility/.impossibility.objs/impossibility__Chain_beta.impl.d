@@ -1,0 +1,1 @@
+lib/impossibility/chain_beta.ml: Array Chain_alpha Exec_model Printf Token

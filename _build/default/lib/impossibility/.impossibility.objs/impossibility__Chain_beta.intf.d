@@ -1,0 +1,1 @@
+lib/impossibility/chain_beta.mli: Exec_model

@@ -1,0 +1,1 @@
+lib/impossibility/exec_model.ml: Array Format Hashtbl List Token

@@ -1,0 +1,1 @@
+lib/impossibility/exec_model.mli: Format Token

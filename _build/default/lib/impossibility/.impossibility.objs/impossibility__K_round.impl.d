@@ -1,0 +1,1 @@
+lib/impossibility/k_round.ml: Array Exec_model Format Hashtbl Int List Printf Strategy Token W1r2_theorem

@@ -1,0 +1,1 @@
+lib/impossibility/k_round.mli: Exec_model Strategy W1r2_theorem

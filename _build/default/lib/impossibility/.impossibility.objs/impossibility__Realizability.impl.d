@@ -1,0 +1,1 @@
+lib/impossibility/realizability.ml: Exec_model Hashtbl List Option Token

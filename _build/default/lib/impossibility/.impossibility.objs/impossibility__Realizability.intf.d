@@ -1,0 +1,1 @@
+lib/impossibility/realizability.mli: Exec_model

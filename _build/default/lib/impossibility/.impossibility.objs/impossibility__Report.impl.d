@@ -1,0 +1,1 @@
+lib/impossibility/report.ml: Array Chain_alpha Chain_beta Exec_model Format Strategy W1r2_theorem Zigzag

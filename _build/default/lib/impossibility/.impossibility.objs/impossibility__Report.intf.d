@@ -1,0 +1,1 @@
+lib/impossibility/report.mli: Format Strategy

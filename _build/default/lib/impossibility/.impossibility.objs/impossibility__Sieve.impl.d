@@ -1,0 +1,1 @@
+lib/impossibility/sieve.ml: Array Hashtbl Int List

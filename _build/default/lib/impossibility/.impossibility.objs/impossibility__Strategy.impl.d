@@ -1,0 +1,1 @@
+lib/impossibility/strategy.ml: Array Exec_model Format Hashtbl Int List Printf Token

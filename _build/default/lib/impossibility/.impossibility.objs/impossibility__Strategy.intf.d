@@ -1,0 +1,1 @@
+lib/impossibility/strategy.mli: Exec_model

@@ -1,0 +1,1 @@
+lib/impossibility/token.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/impossibility/token.mli: Format

@@ -1,0 +1,1 @@
+lib/impossibility/w1r2_theorem.ml: Array Chain_alpha Chain_beta Exec_model Format List Printf Strategy Zigzag

@@ -1,0 +1,1 @@
+lib/impossibility/w1r2_theorem.mli: Exec_model Format Strategy

@@ -1,0 +1,1 @@
+lib/impossibility/zigzag.ml: Array Chain_beta Exec_model List Printf Token

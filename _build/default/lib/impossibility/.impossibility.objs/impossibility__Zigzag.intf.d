@@ -1,0 +1,1 @@
+lib/impossibility/zigzag.mli: Chain_beta Exec_model

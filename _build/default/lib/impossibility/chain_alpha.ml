@@ -1,0 +1,56 @@
+type outcome =
+  | Anchor_violation of {
+      exec : Exec_model.t;
+      expected : int;
+      got : int;
+      description : string;
+    }
+  | Critical of { i1 : int; returns : int array }
+
+let writes_for ~swapped srv =
+  if srv < swapped then [ Token.w2; Token.w1 ] else [ Token.w1; Token.w2 ]
+
+let exec ~s ~swapped =
+  let arrivals =
+    Array.init s (fun srv ->
+        writes_for ~swapped srv
+        @ [ Token.r ~reader:1 ~round:1; Token.r ~reader:1 ~round:2 ])
+  in
+  Exec_model.make ~label:(Printf.sprintf "alpha_%d" swapped) arrivals
+
+let run ~s strategy =
+  if s < 3 then invalid_arg "Chain_alpha.run: the proof needs S >= 3";
+  let returns =
+    Array.init (s + 1) (fun i ->
+        Strategy.decide strategy (Exec_model.view (exec ~s ~swapped:i) ~reader:1))
+  in
+  if returns.(0) <> 2 then
+    Anchor_violation
+      {
+        exec = exec ~s ~swapped:0;
+        expected = 2;
+        got = returns.(0);
+        description =
+          "alpha_head is the reader view of the sequential execution W1 < W2 < \
+           R1, whose read must return 2";
+      }
+  else if returns.(s) <> 1 then
+    Anchor_violation
+      {
+        exec = exec ~s ~swapped:s;
+        expected = 1;
+        got = returns.(s);
+        description =
+          "alpha_tail is the reader view of the sequential execution W2 < W1 < \
+           R1, whose read must return 1";
+      }
+  else begin
+    (* The sequence starts at 2 and ends at 1 over {1,2}, so the first
+       index holding a 1 is preceded by a 2: the critical flip. *)
+    let rec first i =
+      if i > s then assert false
+      else if returns.(i - 1) = 2 && returns.(i) = 1 then i
+      else first (i + 1)
+    in
+    Critical { i1 = first 1; returns }
+  end

@@ -1,0 +1,32 @@
+(** Phase 1: chain α and the critical server (§3.2).
+
+    Chain α = (α₀, …, α_S): in α_i the first i servers receive W₂ before
+    W₁ ("21") and the rest receive W₁ before W₂ ("12"); both rounds of R₁
+    follow on every server.  α₀'s reader view is exactly that of the
+    sequential execution W₁ ≺ W₂ ≺ R₁ (it must return 2) and α_S's that
+    of W₂ ≺ W₁ ≺ R₁ (it must return 1), so the strategy's return flips
+    somewhere along the chain; the server whose swap flips it is the
+    *critical server* s_{i₁}. *)
+
+type outcome =
+  | Anchor_violation of {
+      exec : Exec_model.t;
+      expected : int;
+      got : int;
+      description : string;
+    }
+      (** The strategy already misbehaves on a sequential execution. *)
+  | Critical of { i1 : int; returns : int array }
+      (** [i1 ∈ [1, S]]: returns flip 2→1 between α_{i1−1} and α_{i1}
+          (0-based critical server index is [i1 − 1]).  [returns.(i)] is
+          the strategy's return in α_i. *)
+
+val writes_for : swapped:int -> int -> Token.t list
+(** The write arrival order at a server: "21" on servers below [swapped],
+    "12" elsewhere.  Shared by the later chain constructions. *)
+
+val exec : s:int -> swapped:int -> Exec_model.t
+(** α_swapped: servers [0 … swapped−1] see "21", the rest "12". *)
+
+val run : s:int -> Strategy.t -> outcome
+(** Requires [s ≥ 3]. *)

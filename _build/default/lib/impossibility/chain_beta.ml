@@ -1,0 +1,51 @@
+type t = {
+  stem_swapped : int;
+  critical : int;
+  execs : Exec_model.t array;
+}
+
+let r1_1 = Token.r ~reader:1 ~round:1
+let r1_2 = Token.r ~reader:1 ~round:2
+let r2_1 = Token.r ~reader:2 ~round:1
+let r2_2 = Token.r ~reader:2 ~round:2
+
+let beta_exec ~s ~stem_swapped ~critical ~read_swapped =
+  let arrivals =
+    Array.init s (fun srv ->
+        let writes = Chain_alpha.writes_for ~swapped:stem_swapped srv in
+        if srv = critical then
+          (* R2 (both rounds) skips the critical server. *)
+          writes @ [ r1_1; r1_2 ]
+        else
+          let round2 =
+            if srv < read_swapped then [ r2_2; r1_2 ] else [ r1_2; r2_2 ]
+          in
+          writes @ [ r1_1; r2_1 ] @ round2)
+  in
+  Exec_model.make
+    ~label:(Printf.sprintf "beta[stem=%d]_%d" stem_swapped read_swapped)
+    arrivals
+
+let build ~s ~stem_swapped ~critical =
+  {
+    stem_swapped;
+    critical;
+    execs =
+      Array.init (s + 1) (fun j ->
+          beta_exec ~s ~stem_swapped ~critical ~read_swapped:j);
+  }
+
+let exec t j = t.execs.(j)
+
+let r2_views_agree a b =
+  Array.length a.execs = Array.length b.execs
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun j ea ->
+           let va = Exec_model.view ea ~reader:2 in
+           let vb = Exec_model.view b.execs.(j) ~reader:2 in
+           if not (Exec_model.view_equal va vb) then ok := false)
+         a.execs;
+       !ok
+     end

@@ -1,0 +1,29 @@
+(** Phase 2: chains β′, β″ and the chosen chain β (§3.3).
+
+    Starting from the two executions around the critical server — α_{i₁−1}
+    (reader returns 2) and α_{i₁} (returns 1) — append the second reader
+    R₂ with round order R₁⁽¹⁾, R₂⁽¹⁾, R₁⁽²⁾, R₂⁽²⁾ on every server, and
+    form a chain by swapping R₁⁽²⁾/R₂⁽²⁾ one server at a time.  In the
+    modified executions R₂ (both rounds) skips the critical server, which
+    makes the two chains' executions indistinguishable *to R₂* (they
+    differ only in the critical server's write order), pinning R₂'s
+    return to a common value x in both tails — and in fact throughout. *)
+
+type t = {
+  stem_swapped : int;
+      (** Write configuration: servers [0 … stem_swapped−1] see "21". *)
+  critical : int;  (** 0-based index of the critical server R₂ skips. *)
+  execs : Exec_model.t array;  (** β₀ … β_S (R₂ already skipping). *)
+}
+
+val build : s:int -> stem_swapped:int -> critical:int -> t
+(** Chain of length S+1; execution j has R₁⁽²⁾/R₂⁽²⁾ swapped on servers
+    [0 … j−1]. *)
+
+val exec : t -> int -> Exec_model.t
+
+val r2_views_agree : t -> t -> bool
+(** The §3.3 indistinguishability: for chains built from the two stems
+    ([stem_swapped] differing by exactly the critical server), R₂'s view
+    must be identical in corresponding executions — verified
+    structurally, not assumed. *)

@@ -1,0 +1,113 @@
+type k_view = {
+  reader : int;
+  rounds : Exec_model.view_entry list array;
+}
+
+type k_strategy = { name : string; k : int; decide : k_view -> int }
+
+(* In the back-to-back execution, wherever a reader's (collapsed) round-2
+   token sits, its whole block of rounds 2…k sits contiguously. *)
+let expand_prefix ~k prefix =
+  List.concat_map
+    (fun tok ->
+      match tok with
+      | Token.R { reader; round = 2 } ->
+        List.init (k - 1) (fun j -> Token.r ~reader ~round:(j + 2))
+      | other -> [ other ])
+    prefix
+
+let expand_entries ~k entries =
+  List.map
+    (fun (e : Exec_model.view_entry) ->
+      { e with Exec_model.prefix = expand_prefix ~k e.Exec_model.prefix })
+    entries
+
+let collapse strat =
+  if strat.k < 2 then invalid_arg "K_round.collapse: k must be at least 2";
+  {
+    Strategy.name = Printf.sprintf "%s (collapsed k=%d)" strat.name strat.k;
+    decide =
+      (fun (v : Exec_model.view) ->
+        let me = v.Exec_model.reader in
+        let round1 = expand_entries ~k:strat.k v.Exec_model.round1 in
+        let base2 = expand_entries ~k:strat.k v.Exec_model.round2 in
+        (* Round j ≥ 2 sees everything round 2 saw plus the reader's own
+           preceding block tokens (they arrived just before it). *)
+        let round_j j =
+          let own_block =
+            List.init (j - 2) (fun i -> Token.r ~reader:me ~round:(i + 2))
+          in
+          List.map
+            (fun (e : Exec_model.view_entry) ->
+              { e with Exec_model.prefix = e.Exec_model.prefix @ own_block })
+            base2
+        in
+        let rounds =
+          Array.init strat.k (fun idx ->
+              if idx = 0 then round1 else round_j (idx + 1))
+        in
+        strat.decide { reader = me; rounds })
+  }
+
+let run ~s strat = W1r2_theorem.run ~s (collapse strat)
+
+(* ------------------------------------------------------------------ *)
+(* Example k-round strategies                                           *)
+(* ------------------------------------------------------------------ *)
+
+let last_digit prefix =
+  match List.rev (Exec_model.digits_of_prefix prefix) with
+  | [] -> None
+  | d :: _ -> Some d
+
+let majority ~default digits =
+  let ones = List.length (List.filter (Int.equal 1) digits) in
+  let twos = List.length (List.filter (Int.equal 2) digits) in
+  if ones > twos then 1 else if twos > ones then 2 else default
+
+let last_digits entries =
+  List.filter_map (fun (e : Exec_model.view_entry) -> last_digit e.Exec_model.prefix) entries
+
+let majority_of_last_round ~k =
+  {
+    name = Printf.sprintf "k%d-majority-last-round" k;
+    k;
+    decide =
+      (fun v -> majority ~default:2 (last_digits v.rounds.(Array.length v.rounds - 1)));
+  }
+
+let round_vote ~k =
+  {
+    name = Printf.sprintf "k%d-round-vote" k;
+    k;
+    decide =
+      (fun v ->
+        let votes =
+          Array.to_list v.rounds
+          |> List.filter_map (fun entries ->
+                 match last_digits entries with
+                 | [] -> None
+                 | digits -> Some (majority ~default:2 digits))
+        in
+        majority ~default:2 votes);
+  }
+
+let seeded ~k seed =
+  {
+    name = Printf.sprintf "k%d-seeded-%d" k seed;
+    k;
+    decide =
+      (fun v ->
+        let lasts = last_digits v.rounds.(Array.length v.rounds - 1) in
+        match lasts with
+        | d :: rest when List.for_all (Int.equal d) rest -> d
+        | _ ->
+          let fingerprint =
+            Array.to_list v.rounds
+            |> List.map
+                 (List.map (fun (e : Exec_model.view_entry) ->
+                      ( e.Exec_model.server,
+                        List.map (Format.asprintf "%a" Token.pp) e.Exec_model.prefix )))
+          in
+          1 + (Hashtbl.hash (seed, v.reader, fingerprint) land 1));
+  }

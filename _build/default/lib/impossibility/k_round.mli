@@ -1,0 +1,49 @@
+(** W1Rk impossibility for k ≥ 2, by round collapsing (§2.2 / §3).
+
+    The paper notes that "the impossibility proofs of W1Rk … are
+    principally [the] same …: we can combine the round-trips 2, 3, …, k
+    as if they were one single round-trip.  The chain argument still
+    applies."  This module makes the combination executable.
+
+    A k-round read strategy decides from a k-round view: for each of its
+    k rounds and each server the round reached, the prefix of tokens that
+    arrived first.  We run the chain machinery on executions where rounds
+    2…k of each read always travel *back-to-back* — every surgery of
+    §3 moves the whole block — so the 2-round view determines the k-round
+    view: wherever a read's (collapsed) round 2 appears, its block of
+    rounds 2…k appears contiguously, and likewise for the other reader.
+    {!collapse} performs exactly this expansion, turning a k-round
+    strategy into the induced 2-round strategy; Theorem 1's driver then
+    convicts it. *)
+
+type k_view = {
+  reader : int;
+  rounds : Exec_model.view_entry list array;
+      (** [rounds.(j)] is round j+1's per-server entries. *)
+}
+
+type k_strategy = { name : string; k : int; decide : k_view -> int }
+
+val collapse : k_strategy -> Strategy.t
+(** The induced 2-round strategy: expand each 2-round view to the
+    k-round view of the back-to-back execution and apply the k-round
+    decision.  Raises [Invalid_argument] if [k < 2]. *)
+
+val run : s:int -> k_strategy -> W1r2_theorem.finding * W1r2_theorem.stats
+(** Theorem 1 for W1Rk: convict the k-round strategy via its collapse.
+    The violating execution returned is the collapsed (2-round) one; its
+    k-round counterpart is obtained by the same block expansion. *)
+
+(** {1 Example k-round strategies} *)
+
+val majority_of_last_round : k:int -> k_strategy
+(** Decide by majority of last-written digits seen in round k. *)
+
+val round_vote : k:int -> k_strategy
+(** Each round votes (majority of its prefixes' last digits); the
+    majority of rounds decides — a strategy that genuinely uses every
+    round. *)
+
+val seeded : k:int -> int -> k_strategy
+(** Deterministic pseudo-random k-round strategy, anchored on unanimous
+    views like {!Strategy.seeded}. *)

@@ -1,0 +1,57 @@
+type report = {
+  tokens_unique : bool;
+  round_order_ok : bool;
+  writes_first : bool;
+  skip_budget_ok : bool;
+  max_skips : int;
+}
+
+let check ~t exec =
+  let s = Exec_model.servers exec in
+  let all_tokens = Hashtbl.create 16 in
+  let presence : (Token.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let tokens_unique = ref true in
+  let round_order_ok = ref true in
+  let writes_first = ref true in
+  for srv = 0 to s - 1 do
+    let seq = Exec_model.arrivals exec srv in
+    let seen = Hashtbl.create 8 in
+    let read_seen = ref false in
+    List.iter
+      (fun tok ->
+        Hashtbl.replace all_tokens tok ();
+        if Hashtbl.mem seen tok then tokens_unique := false;
+        Hashtbl.replace seen tok ();
+        Hashtbl.replace presence tok
+          (1 + Option.value ~default:0 (Hashtbl.find_opt presence tok));
+        (match tok with
+        | Token.W _ -> if !read_seen then writes_first := false
+        | Token.R _ -> read_seen := true);
+        match tok with
+        | Token.R { reader; round } when round >= 2 ->
+          let prev = Token.r ~reader ~round:(round - 1) in
+          if
+            List.exists (Token.equal prev) seq
+            && not (Hashtbl.mem seen prev)
+          then round_order_ok := false
+        | _ -> ())
+      seq
+  done;
+  let max_skips =
+    Hashtbl.fold
+      (fun tok () acc ->
+        let present = Option.value ~default:0 (Hashtbl.find_opt presence tok) in
+        max acc (s - present))
+      all_tokens 0
+  in
+  {
+    tokens_unique = !tokens_unique;
+    round_order_ok = !round_order_ok;
+    writes_first = !writes_first;
+    skip_budget_ok = max_skips <= t;
+    max_skips;
+  }
+
+let realizable ~t exec =
+  let r = check ~t exec in
+  r.tokens_unique && r.round_order_ok && r.writes_first && r.skip_budget_ok

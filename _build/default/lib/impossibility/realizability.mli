@@ -1,0 +1,42 @@
+(** Realizability of abstract executions in the message-passing model.
+
+    The chain argument is only sound if every execution it constructs is
+    a *legal* execution of the system: processes are sequential, each
+    round-trip completes with [S − t] replies (so with t = 1 it may skip
+    at most one server), and the per-server arrival orders are consistent
+    with some timing of the underlying asynchronous network.
+
+    This module certifies exactly that for the executions of §3, under
+    their intended temporal story: the two writes are concurrent with
+    each other and precede both reads; the reads are concurrent with each
+    other; within a reader, round 1 precedes round 2.  Under asynchrony
+    the only constraints this story imposes on per-server arrival orders
+    are (i) each token appears at most once per server, (ii) a reader's
+    round 2 never arrives before its round 1 on the same server (its
+    round 2 is only *sent* after round 1 completed), and (iii) write
+    tokens precede read tokens on every server (both writes completed —
+    hence were received wherever they are received at all — before any
+    read round was sent... except that a write's message may itself be
+    delayed past read arrivals; we therefore only *warn* on (iii) and
+    treat it as a separate check, [writes_first], which all chain
+    executions do satisfy).
+
+    The skip budget is the load-bearing condition: a round that is
+    missing from more than [t] servers could not have completed. *)
+
+type report = {
+  tokens_unique : bool;
+  round_order_ok : bool;   (** (ii) above. *)
+  writes_first : bool;     (** (iii): writes precede reads on every server. *)
+  skip_budget_ok : bool;   (** Every write/read round present on ≥ S − t servers. *)
+  max_skips : int;         (** Largest number of servers any round misses. *)
+}
+
+val check : t:int -> Exec_model.t -> report
+(** Certify an execution against crash budget [t].  Rounds and writes
+    are discovered from the tokens present (a token type that appears on
+    zero servers is not counted as "skipping everywhere" — it simply is
+    not part of the execution). *)
+
+val realizable : t:int -> Exec_model.t -> bool
+(** All four report fields hold. *)

@@ -1,0 +1,110 @@
+type effect = server:int -> reader:int -> int list -> int list
+
+let honest ~server:_ ~reader:_ digits = digits
+
+let flip digits = match digits with [ a; b ] -> [ b; a ] | other -> other
+
+let flip_servers servers ~server ~reader digits =
+  if reader = 2 && List.mem server servers then flip digits else digits
+
+let seeded_effect ~seed ~flip_probability_pct ~server ~reader digits =
+  if reader = 2 && Hashtbl.hash (seed, server) mod 100 < flip_probability_pct
+  then flip digits
+  else digits
+
+type crucial_strategy = {
+  cname : string;
+  cdecide : (int * int list) list -> int;
+}
+
+let last_digit = function [] -> None | digits -> Some (List.nth digits (List.length digits - 1))
+
+let crucial_of_last_digits () =
+  {
+    cname = "crucial-last-unanimous-else-2";
+    cdecide =
+      (fun servers ->
+        let lasts = List.filter_map (fun (_, d) -> last_digit d) servers in
+        match lasts with
+        | [] -> 2
+        | d :: rest -> if List.for_all (Int.equal d) rest then d else 2);
+  }
+
+let crucial_majority =
+  {
+    cname = "crucial-majority";
+    cdecide =
+      (fun servers ->
+        let lasts = List.filter_map (fun (_, d) -> last_digit d) servers in
+        let ones = List.length (List.filter (Int.equal 1) lasts) in
+        let twos = List.length (List.filter (Int.equal 2) lasts) in
+        if ones > twos then 1 else 2);
+  }
+
+type outcome =
+  | Too_few_unaffected of { sigma1 : int list; sigma2 : int list }
+  | Anchor_violation of { expected : int; got : int; at : string }
+  | Critical of {
+      sigma1 : int list;
+      sigma2 : int list;
+      i1 : int;
+      returns : int array;
+    }
+
+let run ~s ~effect strategy =
+  (* Σ₁: servers whose crucial info the blind R₂⁽¹⁾ changes in either
+     direction.  (§4.2 eliminates the "12"→"21" flips directly, and
+     argues servers that always end in "12" whatever the writes did
+     cannot decide R₁'s return — we sieve both kinds out.) *)
+  let sigma1 =
+    List.filter
+      (fun srv ->
+        effect ~server:srv ~reader:2 [ 1; 2 ] <> [ 1; 2 ]
+        || effect ~server:srv ~reader:2 [ 2; 1 ] <> [ 2; 1 ])
+      (List.init s (fun i -> i))
+  in
+  let sigma2 =
+    List.filter (fun srv -> not (List.mem srv sigma1)) (List.init s (fun i -> i))
+  in
+  let x = List.length sigma2 in
+  if x < 3 then Too_few_unaffected { sigma1; sigma2 }
+  else begin
+    (* α̂_j: the first j servers of Σ₂ hold "21", the rest of Σ₂ "12";
+       Σ₁ servers hold "12" flipped to "21" by R₂⁽¹⁾ — identically in
+       every execution of the chain.  R₁'s crucial view is the
+       post-effect digit list on every server. *)
+    let exec_view j =
+      List.init s (fun srv ->
+          let base =
+            if List.mem srv sigma1 then [ 1; 2 ]
+            else begin
+              let pos =
+                match List.find_index (Int.equal srv) sigma2 with
+                | Some p -> p
+                | None -> assert false
+              in
+              if pos < j then [ 2; 1 ] else [ 1; 2 ]
+            end
+          in
+          (srv, effect ~server:srv ~reader:2 base))
+    in
+    let returns = Array.init (x + 1) (fun j -> strategy.cdecide (exec_view j)) in
+    if returns.(0) <> 2 then
+      Anchor_violation
+        { expected = 2; got = returns.(0); at = "alpha-hat_0 (W1 < W2 < R1)" }
+    else if returns.(x) <> 1 then
+      Anchor_violation
+        {
+          expected = 1;
+          got = returns.(x);
+          at = "alpha-hat_x (all crucial info reads 21)";
+        }
+    else begin
+      let rec first i =
+        if i > x then assert false
+        else if returns.(i - 1) = 2 && returns.(i) = 1 then i
+        else first (i + 1)
+      in
+      Critical { sigma1; sigma2; i1 = first 1; returns }
+    end
+  end

@@ -1,0 +1,57 @@
+(** §4: the crucial-info model and sieve-based construction (Fig. 8).
+
+    The chain argument of §3 assumed a read's *first* round-trip does not
+    affect what other reads return.  §4 lifts that assumption: in the
+    crucial-info model the only server state that can matter to a read's
+    return is the order in which the two writes arrived ("12" vs "21"),
+    so the only possible effect of a blind first round is flipping that
+    order.  The sieve partitions the servers into Σ₁ (servers whose
+    crucial info R₂⁽¹⁾ flips) and Σ₂ (unaffected), and re-runs chain α on
+    Σ₂ alone: the anchors still hold (a flip cannot excuse a read from
+    returning the value of the latest preceding write), the chain is just
+    shorter, and a critical server is found inside Σ₂ — provided Σ₂ keeps
+    at least 3 servers, which any correct implementation must ensure. *)
+
+type effect = server:int -> reader:int -> int list -> int list
+(** What a reader's first round does to a server's crucial info (the
+    write-digit order).  [honest] is the identity. *)
+
+val honest : effect
+
+val flip_servers : int list -> effect
+(** Flips "12"→"21" (and back) on the listed servers when reader 2's
+    first round arrives; identity elsewhere. *)
+
+val seeded_effect : seed:int -> flip_probability_pct:int -> effect
+(** Deterministic pseudo-random flipping, for the fig8 experiment. *)
+
+type crucial_strategy = {
+  cname : string;
+  cdecide : (int * int list) list -> int;
+      (** Per-server crucial info, ascending server id → return value. *)
+}
+
+val crucial_of_last_digits : unit -> crucial_strategy
+(** Return the digit written last on all servers if unanimous, else 2 —
+    the canonical crucial-info reader. *)
+
+val crucial_majority : crucial_strategy
+
+type outcome =
+  | Too_few_unaffected of { sigma1 : int list; sigma2 : int list }
+      (** |Σ₂| < 3: the implementation destroyed too many servers'
+          crucial info for any correct read to exist (§4.2 requires at
+          least 3 unaffected servers when t = 1). *)
+  | Anchor_violation of { expected : int; got : int; at : string }
+  | Critical of {
+      sigma1 : int list;
+      sigma2 : int list;
+      i1 : int;   (** 1-based position within Σ₂ of the critical flip. *)
+      returns : int array;
+    }
+
+val run : s:int -> effect:effect -> crucial_strategy -> outcome
+(** Replay Fig. 8: build α̂₀ (every server "12", then Σ₁ flipped by
+    R₂⁽¹⁾), swap one Σ₂ server at a time up to α̂ₓ, evaluate the strategy
+    on R₁'s crucial view after R₁⁽¹⁾R₂⁽¹⁾ and before R₁⁽²⁾'s reply, and
+    locate the critical server within Σ₂. *)

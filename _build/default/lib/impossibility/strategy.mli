@@ -1,0 +1,67 @@
+(** Candidate read strategies for fast-write (W1R2) implementations.
+
+    In the full-info model a W1R2 implementation is characterised by what
+    its two-round read returns as a function of its {!Exec_model.view} —
+    writes are one blind update round, servers are append-only logs, so
+    the read's decision function is the only degree of freedom left.
+    Theorem 1 says *no* decision function yields atomicity; the
+    {!W1r2_theorem} driver demonstrates it per strategy by constructing a
+    violating execution.
+
+    A strategy must return 1 or 2 (the digits written by W₁ and W₂; in
+    every execution the proof uses, both writes finished before the reads
+    began, so returning the initial value is never legal). *)
+
+type t = { name : string; decide : Exec_model.view -> int }
+
+val decide : t -> Exec_model.view -> int
+(** Evaluate, checking the result is 1 or 2. *)
+
+(** {1 Natural strategies} *)
+
+val last_unanimous_else : int -> t
+(** If every server visible in round 2 shows the same last-written digit,
+    return it; otherwise return the given default.  With default 2 this
+    is the paper's "cannot differentiate Rel1 from Rel2 ⇒ return 2". *)
+
+val majority_last : t
+(** The digit that is last on a majority of round-2 servers (ties → 2). *)
+
+val weighted_last : t
+(** Like {!majority_last} but counting both rounds' prefixes. *)
+
+val first_server_rules : t
+(** The last digit on the lowest-numbered server the read reached. *)
+
+val round1_majority : t
+(** Decide from round-1 prefixes only (ignores the second round). *)
+
+val latest_arrival : t
+(** Return the digit whose write token appears *last* across all round-2
+    prefixes (by position from the end), majority-style. *)
+
+val reader_aware : t
+(** Uses coordination information: when the other reader's first round is
+    visible on a majority of servers, lean on the freshest digit seen
+    anywhere; otherwise behave like {!majority_last}.  Exercises the
+    parts of the view that only read tokens populate. *)
+
+val pessimistic_quorum : t
+(** Return 1 only when *every* visible prefix (both rounds) ends in 1;
+    otherwise 2 — the most write-2-biased strategy that still honours the
+    sequential anchors. *)
+
+val natural : t list
+(** The library above. *)
+
+(** {1 Randomised strategies} *)
+
+val seeded : int -> t
+(** A deterministic pseudo-random strategy: returns the forced digit on
+    unanimous views (so the sequential anchors hold and the chain
+    machinery is actually exercised) and a view-hash-dependent digit
+    otherwise. *)
+
+val seeded_wild : int -> t
+(** Fully arbitrary: hash of the whole view decides.  Usually dies on a
+    sequential anchor — exercising the driver's other exit. *)

@@ -1,0 +1,208 @@
+type finding =
+  | Anchor_violation of {
+      exec : Exec_model.t;
+      expected : int;
+      got : int;
+      description : string;
+    }
+  | Read_disagreement of {
+      exec : Exec_model.t;
+      stage : string;
+      r1 : int;
+      r2 : int;
+    }
+  | Unresolved of { detail : string }
+
+type stats = {
+  s : int;
+  i1 : int option;
+  chosen_stem : int option;
+  links_checked : int;
+  links_failed : int;
+  executions_scanned : int;
+}
+
+let found_violation = function
+  | Anchor_violation _ | Read_disagreement _ -> true
+  | Unresolved _ -> false
+
+let pp_finding ppf = function
+  | Anchor_violation { exec; expected; got; description } ->
+    Format.fprintf ppf
+      "@[<v2>anchor violation (expected %d, got %d): %s@,%a@]" expected got
+      description Exec_model.pp exec
+  | Read_disagreement { exec; stage; r1; r2 } ->
+    Format.fprintf ppf
+      "@[<v2>read disagreement at %s: R1 returns %d, R2 returns %d, but both \
+       writes precede both reads@,%a@]"
+      stage r1 r2 Exec_model.pp exec
+  | Unresolved { detail } -> Format.fprintf ppf "unresolved: %s" detail
+
+let eval strategy exec ~reader =
+  Strategy.decide strategy (Exec_model.view exec ~reader)
+
+(* Scan chain Z of one chain for an execution whose two reads disagree;
+   count link verification alongside. *)
+let scan_chain strategy chain =
+  let s = Array.length chain.Chain_beta.execs - 1 in
+  let links_checked = ref 0 in
+  let links_failed = ref 0 in
+  for k = 0 to s - 1 do
+    let step = Zigzag.build_step ~chain ~k in
+    let report = Zigzag.verify_step ~chain step in
+    links_checked := !links_checked + 5;
+    if not (Zigzag.link_ok report) then incr links_failed
+  done;
+  let disagreement =
+    List.find_map
+      (fun (stage, exec) ->
+        let r1 = eval strategy exec ~reader:1 in
+        let r2 = eval strategy exec ~reader:2 in
+        if r1 <> r2 then Some (Read_disagreement { exec; stage; r1; r2 })
+        else None)
+      (Zigzag.all_executions ~chain)
+  in
+  (disagreement, !links_checked, !links_failed)
+
+let rec run ~s strategy =
+  match Chain_alpha.run ~s strategy with
+  | Chain_alpha.Anchor_violation { exec; expected; got; description } ->
+    ( Anchor_violation { exec; expected; got; description },
+      {
+        s;
+        i1 = None;
+        chosen_stem = None;
+        links_checked = 0;
+        links_failed = 0;
+        executions_scanned = 1;
+      } )
+  | Chain_alpha.Critical { i1; returns = _ } ->
+    let critical = i1 - 1 in
+    let chain' = Chain_beta.build ~s ~stem_swapped:(i1 - 1) ~critical in
+    let chain'' = Chain_beta.build ~s ~stem_swapped:i1 ~critical in
+    (* §3.3 indistinguishability, verified rather than assumed. *)
+    if not (Chain_beta.r2_views_agree chain' chain'') then
+      ( Unresolved
+          { detail = "construction bug: R2 views differ across beta'/beta''" },
+        {
+          s;
+          i1 = Some i1;
+          chosen_stem = None;
+          links_checked = 0;
+          links_failed = 0;
+          executions_scanned = 0;
+        } )
+    else begin
+      let x = eval strategy (Chain_beta.exec chain' s) ~reader:2 in
+      let head' = eval strategy (Chain_beta.exec chain' 0) ~reader:1 in
+      let head'' = eval strategy (Chain_beta.exec chain'' 0) ~reader:1 in
+      let chosen =
+        if head' <> x then Some chain'
+        else if head'' <> x then Some chain''
+        else None
+      in
+      match chosen with
+      | Some chain ->
+        let disagreement, lc, lf = scan_chain strategy chain in
+        let stats =
+          {
+            s;
+            i1 = Some i1;
+            chosen_stem = Some chain.Chain_beta.stem_swapped;
+            links_checked = lc;
+            links_failed = lf;
+            executions_scanned = List.length (Zigzag.all_executions ~chain);
+          }
+        in
+        (match disagreement with
+        | Some f -> (f, stats)
+        | None ->
+          (* Impossible for a pure strategy: the endpoints differ but all
+             links hold.  Report honestly if it ever happens. *)
+          ( Unresolved
+              {
+                detail =
+                  "no disagreement found along Z although endpoints differ";
+              },
+            stats ))
+      | None ->
+        (* Both heads already equal x: the strategy's return drifted when
+           R2's tokens appeared — the situation §4 handles with the
+           sieve.  Fall back to a complete sweep of the proof's execution
+           family: every candidate critical server, both adjacent stems,
+           the sequential anchors of every chain, and every execution of
+           every zigzag. *)
+        sweep_all ~s ~i1 strategy
+    end
+
+and sweep_all ~s ~i1 strategy =
+  let links_checked = ref 0 in
+  let links_failed = ref 0 in
+  let scanned = ref 0 in
+  let finding = ref None in
+  let consider f = if !finding = None then finding := f in
+  let candidates = List.init s (fun c -> c) in
+  List.iter
+    (fun critical ->
+      if !finding = None then begin
+        (* Sequential anchors: with all-"12" stems both reads must return
+           2; with all-"21" stems both must return 1 — realizable
+           executions regardless of which server R2 skips. *)
+        let anchor stem expected =
+          let chain = Chain_beta.build ~s ~stem_swapped:stem ~critical in
+          let exec = Chain_beta.exec chain 0 in
+          List.iter
+            (fun reader ->
+              let got = eval strategy exec ~reader in
+              if got <> expected then
+                consider
+                  (Some
+                     (Anchor_violation
+                        {
+                          exec;
+                          expected;
+                          got;
+                          description =
+                            Printf.sprintf
+                              "with R2 appended (skipping s_%d), the \
+                               sequential execution still forces both reads \
+                               to return %d"
+                              critical expected;
+                        })))
+            [ 1; 2 ]
+        in
+        anchor 0 2;
+        anchor s 1;
+        List.iter
+          (fun stem ->
+            if !finding = None && stem >= 0 && stem <= s then begin
+              let chain = Chain_beta.build ~s ~stem_swapped:stem ~critical in
+              let d, lc, lf = scan_chain strategy chain in
+              links_checked := !links_checked + lc;
+              links_failed := !links_failed + lf;
+              scanned := !scanned + List.length (Zigzag.all_executions ~chain);
+              consider d
+            end)
+          [ critical; critical + 1 ]
+      end)
+    candidates;
+  let stats =
+    {
+      s;
+      i1 = Some i1;
+      chosen_stem = None;
+      links_checked = !links_checked;
+      links_failed = !links_failed;
+      executions_scanned = !scanned;
+    }
+  in
+  match !finding with
+  | Some f -> (f, stats)
+  | None ->
+    ( Unresolved
+        {
+          detail =
+            "full sweep over every critical-server candidate found neither an \
+             anchor violation nor a read disagreement";
+        },
+      stats )

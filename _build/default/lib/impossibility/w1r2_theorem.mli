@@ -1,0 +1,56 @@
+(** Theorem 1, executable: no fast-write (W1R2) strategy is atomic.
+
+    Given any candidate read strategy, the driver replays the paper's
+    three-phase construction and produces a *concrete violating
+    execution*:
+
+    + Phase 1 evaluates the sequential anchors of chain α; a strategy
+      that already returns the wrong value there violates atomicity on a
+      sequential execution (finding {!Anchor_violation}).
+    + Otherwise the critical server exists; Phase 2 builds chains β′/β″
+      (R₂ skipping the critical server), verifies structurally that R₂'s
+      views coincide across the two chains, reads off R₂'s pinned return
+      x, and picks the chain whose head return differs from x.
+    + Phase 3 walks the zigzag chain Z.  Every link is a verified view
+      equality, so a pure strategy returns equal values across each link;
+      since the endpoints force different values, some *single execution*
+      in Z must have its two reads disagree — and two reads that both
+      follow both writes must return the same value in any atomic
+      register.  That execution is the violation ({!Read_disagreement}).
+
+    The pigeonhole in step 3 is exhaustive, so the driver always returns
+    a finding; {!Unresolved} exists only as an honest escape hatch for
+    strategies outside the model's reach (none of the shipped or
+    generated families hit it — the test suite asserts as much). *)
+
+type finding =
+  | Anchor_violation of {
+      exec : Exec_model.t;
+      expected : int;
+      got : int;
+      description : string;
+    }
+  | Read_disagreement of {
+      exec : Exec_model.t;
+      stage : string;     (** Which Z execution, e.g. ["gamma_3"]. *)
+      r1 : int;
+      r2 : int;
+    }
+      (** In [exec] both writes precede both reads, yet the strategy
+          returns different values to R₁ and R₂ — atomicity violated. *)
+  | Unresolved of { detail : string }
+
+type stats = {
+  s : int;
+  i1 : int option;          (** Critical server (1-based), if reached. *)
+  chosen_stem : int option; (** stem_swapped of the chosen chain. *)
+  links_checked : int;
+  links_failed : int;       (** Structural link failures (must be 0). *)
+  executions_scanned : int;
+}
+
+val run : s:int -> Strategy.t -> finding * stats
+
+val found_violation : finding -> bool
+
+val pp_finding : Format.formatter -> finding -> unit

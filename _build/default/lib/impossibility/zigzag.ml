@@ -1,0 +1,113 @@
+type step = {
+  k : int;
+  temp_k : Exec_model.t option;
+  gamma_k : Exec_model.t;
+  temp'_k : Exec_model.t option;
+  gamma'_k : Exec_model.t;
+}
+
+type link_report = {
+  h_r1_beta_temp : bool;
+  h_r2_temp_gamma : bool;
+  d_r2_beta_temp' : bool;
+  d_r1_temp'_gamma' : bool;
+  gammas_equal : bool;
+}
+
+let link_ok r =
+  r.h_r1_beta_temp && r.h_r2_temp_gamma && r.d_r2_beta_temp'
+  && r.d_r1_temp'_gamma' && r.gammas_equal
+
+let r1_2 = Token.r ~reader:1 ~round:2
+let r2_2 = Token.r ~reader:2 ~round:2
+
+let build_step ~chain ~k =
+  let critical = chain.Chain_beta.critical in
+  let beta_k = Chain_beta.exec chain k in
+  let beta_k1 = Chain_beta.exec chain (k + 1) in
+  if k = critical then begin
+    (* Simpler case (§3.4.1/§3.4.2, "k + 1 = i1"): on s_{k+1} only
+       R1(2) is present (R2 skips it); just let R1(2) skip it too. *)
+    let gamma_k =
+      Exec_model.relabel
+        (Exec_model.remove beta_k ~server:k r1_2)
+        (Printf.sprintf "gamma_%d" k)
+    in
+    let gamma'_k =
+      Exec_model.relabel
+        (Exec_model.remove beta_k1 ~server:k r1_2)
+        (Printf.sprintf "gamma'_%d" k)
+    in
+    { k; temp_k = None; gamma_k; temp'_k = None; gamma'_k }
+  end
+  else begin
+    (* Horizontal: temp_k moves R2(2)'s skip from the critical server to
+       s_{k+1}, re-adding it on the critical server after R1(2). *)
+    let temp_k =
+      Exec_model.remove beta_k ~server:k r2_2
+      |> fun e ->
+      Exec_model.insert_after e ~server:critical ~after:r1_2 r2_2
+      |> fun e -> Exec_model.relabel e (Printf.sprintf "temp_%d" k)
+    in
+    let gamma_k =
+      Exec_model.relabel
+        (Exec_model.remove temp_k ~server:k r1_2)
+        (Printf.sprintf "gamma_%d" k)
+    in
+    (* Diagonal: temp'_k lets R1(2) skip s_{k+1} in beta_{k+1}; gamma'_k
+       then moves R2(2)'s skip to s_{k+1} as in the horizontal case. *)
+    let temp'_k =
+      Exec_model.relabel
+        (Exec_model.remove beta_k1 ~server:k r1_2)
+        (Printf.sprintf "temp'_%d" k)
+    in
+    let gamma'_k =
+      Exec_model.remove temp'_k ~server:k r2_2
+      |> fun e ->
+      Exec_model.insert_after e ~server:critical ~after:r1_2 r2_2
+      |> fun e -> Exec_model.relabel e (Printf.sprintf "gamma'_%d" k)
+    in
+    { k; temp_k = Some temp_k; gamma_k; temp'_k = Some temp'_k; gamma'_k }
+  end
+
+let view_eq e1 e2 ~reader =
+  Exec_model.view_equal (Exec_model.view e1 ~reader) (Exec_model.view e2 ~reader)
+
+let verify_step ~chain step =
+  let beta_k = Chain_beta.exec chain step.k in
+  let beta_k1 = Chain_beta.exec chain (step.k + 1) in
+  match (step.temp_k, step.temp'_k) with
+  | Some temp_k, Some temp'_k ->
+    {
+      h_r1_beta_temp = view_eq beta_k temp_k ~reader:1;
+      h_r2_temp_gamma = view_eq temp_k step.gamma_k ~reader:2;
+      d_r2_beta_temp' = view_eq beta_k1 temp'_k ~reader:2;
+      d_r1_temp'_gamma' = view_eq temp'_k step.gamma'_k ~reader:1;
+      gammas_equal = Exec_model.equal step.gamma_k step.gamma'_k;
+    }
+  | _ ->
+    (* k = critical: the direct equalities of the simpler case. *)
+    {
+      h_r1_beta_temp = true;
+      h_r2_temp_gamma = view_eq beta_k step.gamma_k ~reader:2;
+      d_r2_beta_temp' = view_eq beta_k1 step.gamma'_k ~reader:2;
+      d_r1_temp'_gamma' = true;
+      gammas_equal = Exec_model.equal step.gamma_k step.gamma'_k;
+    }
+
+let all_executions ~chain =
+  let s = Array.length chain.Chain_beta.execs - 1 in
+  let acc = ref [] in
+  for k = 0 to s - 1 do
+    let step = build_step ~chain ~k in
+    acc := (Printf.sprintf "beta_%d" k, Chain_beta.exec chain k) :: !acc;
+    (match step.temp_k with
+    | Some e -> acc := (Exec_model.label e, e) :: !acc
+    | None -> ());
+    acc := (Exec_model.label step.gamma_k, step.gamma_k) :: !acc;
+    match step.temp'_k with
+    | Some e -> acc := (Exec_model.label e, e) :: !acc
+    | None -> ()
+  done;
+  acc := (Printf.sprintf "beta_%d" s, Chain_beta.exec chain s) :: !acc;
+  List.rev !acc

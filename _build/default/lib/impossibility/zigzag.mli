@@ -1,0 +1,46 @@
+(** Phase 3: horizontal and diagonal links, and the zigzag chain Z (§3.4).
+
+    For the chosen chain β, each step k ∈ [0, S−1] yields intermediate
+    executions (Figs. 4–7):
+
+    - horizontal link βₖ ≈ tempₖ ≈ γₖ, where tempₖ moves R₂⁽²⁾'s skip
+      from the critical server to s_{k+1} (adding it back *after* R₁⁽²⁾
+      on the critical server, behind R₁'s back), and γₖ additionally has
+      R₁⁽²⁾ skip s_{k+1};
+    - diagonal link βₖ₊₁ ≈ temp′ₖ ≈ γ′ₖ, built symmetrically, with
+      γ′ₖ = γₖ (verified structurally).
+
+    Each ≈ holds because one of the two readers gets an *identical view*
+    in the linked executions — this module re-verifies every view
+    equality per instance rather than trusting the construction, which is
+    precisely what reproducing Figs. 4–7 means. *)
+
+type step = {
+  k : int;
+  temp_k : Exec_model.t option;   (** Absent in the k = critical case. *)
+  gamma_k : Exec_model.t;
+  temp'_k : Exec_model.t option;
+  gamma'_k : Exec_model.t;
+}
+
+type link_report = {
+  h_r1_beta_temp : bool;      (** R₁ view equal in βₖ and tempₖ. *)
+  h_r2_temp_gamma : bool;     (** R₂ view equal in tempₖ and γₖ. *)
+  d_r2_beta_temp' : bool;     (** R₂ view equal in βₖ₊₁ and temp′ₖ. *)
+  d_r1_temp'_gamma' : bool;   (** R₁ view equal in temp′ₖ and γ′ₖ. *)
+  gammas_equal : bool;        (** γ′ₖ = γₖ as executions. *)
+}
+
+val link_ok : link_report -> bool
+
+val build_step : chain:Chain_beta.t -> k:int -> step
+(** Requires [0 ≤ k ≤ S−1]. *)
+
+val verify_step : chain:Chain_beta.t -> step -> link_report
+(** Structural verification of all the view equalities of Figs. 4–7.
+    For the k = critical special case the temp executions are absent and
+    the corresponding direct equalities (βₖ vs γₖ for R₂, βₖ₊₁ vs γ′ₖ
+    for R₂) are checked instead and reported in the same fields. *)
+
+val all_executions : chain:Chain_beta.t -> (string * Exec_model.t) list
+(** Chain Z in order: β₀, temp₀, γ₀, temp′₀, β₁, …, β_S, labelled. *)

@@ -1,0 +1,1 @@
+lib/protocol/control.ml: Network Simulation Topology

@@ -1,0 +1,1 @@
+lib/protocol/control.mli: Network Simulation Topology

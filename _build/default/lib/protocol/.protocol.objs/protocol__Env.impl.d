@@ -1,0 +1,1 @@
+lib/protocol/env.ml: Engine Latency Simulation Topology Trace

@@ -1,0 +1,1 @@
+lib/protocol/env.mli: Engine Latency Simulation Topology Trace

@@ -1,0 +1,1 @@
+lib/protocol/register_intf.ml: Checker Control Env Quorums

@@ -1,0 +1,1 @@
+lib/protocol/round_trip.ml: Array Hashtbl List Message Network Printf Simulation

@@ -1,0 +1,1 @@
+lib/protocol/round_trip.mli: Message Network Simulation

@@ -1,0 +1,1 @@
+lib/protocol/runtime.ml: Checker Control Engine Env Hashtbl Histories History List Network Op Recorder Register_intf Simulation Trace

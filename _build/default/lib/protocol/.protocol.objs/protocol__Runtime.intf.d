@@ -1,0 +1,1 @@
+lib/protocol/runtime.mli: Checker Control Engine Env Histories History Network Op Register_intf Simulation Trace

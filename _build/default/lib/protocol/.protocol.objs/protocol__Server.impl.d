@@ -1,0 +1,1 @@
+lib/protocol/server.ml: Message Network Printf Simulation

@@ -1,0 +1,1 @@
+lib/protocol/server.mli: Message Network Simulation

@@ -1,0 +1,32 @@
+open Simulation
+
+type decision = Network.action
+
+type t = {
+  crash_server : int -> unit;
+  crashed_servers : unit -> int;
+  set_route : (src:int -> dst:int -> now:float -> decision) option -> unit;
+  release_held : unit -> unit;
+  held : unit -> int;
+  net_stats : unit -> Network.stats;
+}
+
+let of_network net ~topology =
+  {
+    crash_server =
+      (fun i -> Network.crash net (Topology.server_node topology i));
+    crashed_servers = (fun () -> Network.crashed_count net);
+    set_route =
+      (fun filter ->
+        match filter with
+        | None -> Network.set_filter net None
+        | Some f ->
+          Network.set_filter net
+            (Some
+               (fun env ->
+                 f ~src:env.Network.src ~dst:env.Network.dst
+                   ~now:env.Network.sent_at)));
+    release_held = (fun () -> Network.release_held net);
+    held = (fun () -> Network.held_count net);
+    net_stats = (fun () -> Network.stats net);
+  }

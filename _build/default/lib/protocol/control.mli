@@ -1,0 +1,31 @@
+(** Untyped adversarial handle over a protocol's private network.
+
+    Each register protocol owns a network instantiated at its own message
+    type; the adversary (fault plans, schedule shapers, the runtime) must
+    nevertheless manipulate any protocol uniformly.  [Control.t] exposes
+    the message-type-independent capabilities — crash a server, steer
+    messages by (src, dst, time), release held messages — as closures
+    built by the protocol at cluster-creation time. *)
+
+open Simulation
+
+type decision = Network.action
+
+type t = {
+  crash_server : int -> unit;
+      (** Crash the i-th server (index, not node id). *)
+  crashed_servers : unit -> int;
+  set_route : (src:int -> dst:int -> now:float -> decision) option -> unit;
+      (** Install a filter deciding each message's fate at send time from
+          its endpoints and the current virtual time. *)
+  release_held : unit -> unit;
+      (** Deliver all held ("skipped") messages — the paper's "delayed
+          until the rest of the execution has finished". *)
+  held : unit -> int;
+  net_stats : unit -> Network.stats;
+}
+
+val of_network : 'msg Network.t -> topology:Topology.t -> t
+(** The standard handle every protocol exposes: crash-by-server-index,
+    route filtering, held-message release and stats, all delegated to the
+    protocol's own typed network. *)

@@ -1,0 +1,27 @@
+open Simulation
+
+type t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  tolerance : int;
+  latency : Latency.t;
+  trace : Trace.t option;
+}
+
+let make ?(seed = 42) ?(latency = Latency.uniform ~lo:1.0 ~hi:10.0)
+    ?(tracing = false) ~s ~t ~w ~r () =
+  if t < 0 || t >= s then invalid_arg "Env.make: need 0 <= t < s";
+  {
+    engine = Engine.create ~seed ();
+    topology = Topology.make ~servers:s ~writers:w ~readers:r;
+    tolerance = t;
+    latency;
+    trace = (if tracing then Some (Trace.create ()) else None);
+  }
+
+let quorum_size t = t.topology.Topology.servers - t.tolerance
+
+let s t = t.topology.Topology.servers
+let t_ t = t.tolerance
+let w t = t.topology.Topology.writers
+let r t = t.topology.Topology.readers

@@ -1,0 +1,49 @@
+(** The interface every register protocol implements.
+
+    A protocol is a way of emulating one shared read/write register over
+    the client–server substrate: it builds a *cluster* (its servers, its
+    clients, its private network) inside an {!Env.t}, and exposes the two
+    operations of §2.1.  Operations are continuation-passing because the
+    simulator is event-driven; the runtime (not the protocol) records
+    invocation/response events into the history.
+
+    Operations also report the [(ts, wid)] tag of the value they wrote or
+    returned, when the protocol has one — this feeds the MWA0–MWA4
+    property checker.  Protocols without internal timestamps (the naive
+    candidates) may report [None]. *)
+
+module type S = sig
+  val name : string
+  (** Human-readable, e.g. ["LS97 (W2R2)"]. *)
+
+  val design_point : Quorums.Bounds.design_point
+  (** Where the protocol sits in the Fig. 2 lattice: how many round-trips
+      its writes and reads take. *)
+
+  type cluster
+
+  val create : Env.t -> cluster
+  (** Spin up servers and client endpoints.  The cluster enforces the
+      model's communication restrictions (no server↔server traffic). *)
+
+  val control : cluster -> Control.t
+  (** Adversarial handle over the cluster's network. *)
+
+  val write :
+    cluster ->
+    writer:int ->
+    value:int ->
+    k:(Checker.Mw_properties.tag option -> unit) ->
+    unit
+  (** Start [write(value)] at writer [writer] (0-based).  [k] fires when
+      the write completes, with the timestamp the protocol assigned. *)
+
+  val read :
+    cluster ->
+    reader:int ->
+    k:(int -> Checker.Mw_properties.tag option -> unit) ->
+    unit
+  (** Start [read()] at reader [reader]; [k value tag] fires on completion. *)
+end
+
+type t = (module S)

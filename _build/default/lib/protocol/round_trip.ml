@@ -1,0 +1,76 @@
+open Simulation
+
+type ('req, 'rep) pending = {
+  mutable replies : (int * 'rep) list; (* newest first *)
+  mutable fired : bool;
+  need : int;
+  k : (int * 'rep) list -> unit;
+}
+
+type ('req, 'rep) t = {
+  net : ('req, 'rep) Message.t Network.t;
+  node : int;
+  servers : int array;
+  quorum : int;
+  mutable next_rt : int;
+  pending : (int, ('req, 'rep) pending) Hashtbl.t;
+  mutable started : int;
+  mutable completed : int;
+  mutable late : int;
+}
+
+let on_delivery t (env : ('req, 'rep) Message.t Network.envelope) =
+  match env.Network.payload with
+  | Message.Request _ ->
+    invalid_arg (Printf.sprintf "Round_trip: client node %d received a request" t.node)
+  | Message.Reply { rt; server; payload } -> (
+    match Hashtbl.find_opt t.pending rt with
+    | None -> t.late <- t.late + 1
+    | Some p ->
+      if p.fired then t.late <- t.late + 1
+      else begin
+        p.replies <- (server, payload) :: p.replies;
+        if List.length p.replies >= p.need then begin
+          p.fired <- true;
+          t.completed <- t.completed + 1;
+          Hashtbl.remove t.pending rt;
+          p.k (List.rev p.replies)
+        end
+      end)
+
+let create ~net ~node ~servers ~quorum =
+  if quorum <= 0 || quorum > Array.length servers then
+    invalid_arg "Round_trip.create: quorum out of range";
+  let t =
+    {
+      net;
+      node;
+      servers;
+      quorum;
+      next_rt = 0;
+      pending = Hashtbl.create 8;
+      started = 0;
+      completed = 0;
+      late = 0;
+    }
+  in
+  Network.register net ~node (on_delivery t);
+  t
+
+let exec_skipping t ~skip payload k =
+  let rt = t.next_rt in
+  t.next_rt <- rt + 1;
+  t.started <- t.started + 1;
+  Hashtbl.replace t.pending rt { replies = []; fired = false; need = t.quorum; k };
+  Array.iter
+    (fun s ->
+      if not (List.mem s skip) then
+        Network.send t.net ~src:t.node ~dst:s
+          (Message.Request { rt; client = t.node; payload }))
+    t.servers
+
+let exec t payload k = exec_skipping t ~skip:[] payload k
+
+let rounds_started t = t.started
+let rounds_completed t = t.completed
+let late_replies t = t.late

@@ -1,0 +1,39 @@
+(** The client side of one round-trip of communication (§2.2).
+
+    In each round-trip the client sends its request to *all* servers and
+    waits for replies from any [S − t] of them (a crash-tolerant quorum);
+    the continuation fires exactly once, with the quorum's replies in
+    arrival order.  Replies arriving after the quorum are counted but not
+    re-delivered — the round-trip is over.  This is exactly the
+    communication pattern every protocol in the paper (and in ABD/LS97/
+    DGLV) is built from, so all register implementations share this one
+    primitive. *)
+
+open Simulation
+
+type ('req, 'rep) t
+
+val create :
+  net:(('req, 'rep) Message.t) Network.t ->
+  node:int ->
+  servers:int array ->
+  quorum:int ->
+  ('req, 'rep) t
+(** Registers the delivery handler for [node] on [net].  [quorum] replies
+    complete a round-trip; it must satisfy [0 < quorum <= Array.length servers]. *)
+
+val exec : ('req, 'rep) t -> 'req -> ((int * 'rep) list -> unit) -> unit
+(** [exec t req k] starts a round-trip: broadcasts [req] and calls
+    [k replies] when the quorum is reached, where [replies] are
+    [(server, reply)] pairs in arrival order. *)
+
+val exec_skipping :
+  ('req, 'rep) t -> skip:int list -> 'req -> ((int * 'rep) list -> unit) -> unit
+(** Like {!exec} but does not send to servers in [skip] — the paper's
+    "the round-trip skips server s" construction, from the client side.
+    The quorum requirement is unchanged, so skipping more than
+    [S − quorum] servers makes the round-trip block forever. *)
+
+val rounds_started : ('req, 'rep) t -> int
+val rounds_completed : ('req, 'rep) t -> int
+val late_replies : ('req, 'rep) t -> int

@@ -1,0 +1,11 @@
+open Simulation
+
+let attach ~net ~node ~handler =
+  Network.register net ~node (fun env ->
+      match env.Network.payload with
+      | Message.Reply _ ->
+        invalid_arg (Printf.sprintf "Server: node %d received a reply" node)
+      | Message.Request { rt; client; payload } ->
+        let rep = handler ~client payload in
+        Network.send net ~src:node ~dst:client
+          (Message.Reply { rt; server = node; payload = rep }))

@@ -1,0 +1,18 @@
+(** Server skeleton.
+
+    A server in the paper's model is purely reactive: upon a query it
+    replies with the requested information, upon an update it stores the
+    client's data and replies (possibly just an ACK).  [attach] installs
+    such a handler at a network node; the handler's closure owns the
+    server's local replica state. *)
+
+open Simulation
+
+val attach :
+  net:(('req, 'rep) Message.t) Network.t ->
+  node:int ->
+  handler:(client:int -> 'req -> 'rep) ->
+  unit
+(** Every incoming request is answered with [handler ~client payload],
+    echoed back with the request's round-trip id.  Receiving a reply at a
+    server raises (servers only ever receive requests). *)

@@ -1,0 +1,1 @@
+lib/quorum/coterie.ml: Format Int List Printf Set

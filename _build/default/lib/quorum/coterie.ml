@@ -1,0 +1,109 @@
+module Iset = Set.Make (Int)
+
+type t = { universe : int; quorums : Iset.t list }
+
+let of_sets ~universe sets =
+  if universe <= 0 then invalid_arg "Coterie: universe must be positive";
+  if sets = [] then invalid_arg "Coterie: empty family";
+  List.iter
+    (fun q ->
+      if Iset.is_empty q then invalid_arg "Coterie: empty quorum";
+      Iset.iter
+        (fun x ->
+          if x < 0 || x >= universe then
+            invalid_arg (Printf.sprintf "Coterie: server %d out of range" x))
+        q)
+    sets;
+  let deduped =
+    List.sort_uniq Iset.compare sets
+  in
+  { universe; quorums = deduped }
+
+let of_lists ~universe lists =
+  of_sets ~universe (List.map Iset.of_list lists)
+
+let universe t = t.universe
+
+let quorums t = List.map Iset.elements t.quorums
+
+(* All subsets of [0..n-1] of a given size. *)
+let rec subsets_of_size n size start =
+  if size = 0 then [ Iset.empty ]
+  else if start >= n then []
+  else
+    List.map (Iset.add start) (subsets_of_size n (size - 1) (start + 1))
+    @ subsets_of_size n size (start + 1)
+
+let threshold ~universe ~size =
+  if size <= 0 || size > universe then invalid_arg "Coterie.threshold: bad size";
+  of_sets ~universe (subsets_of_size universe size 0)
+
+let majority ~universe = threshold ~universe ~size:((universe / 2) + 1)
+
+let grid ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Coterie.grid: bad dimensions";
+  let universe = rows * cols in
+  let row r = Iset.of_list (List.init cols (fun c -> (r * cols) + c)) in
+  let col c = Iset.of_list (List.init rows (fun r -> (r * cols) + c)) in
+  let sets =
+    List.concat_map
+      (fun r -> List.init cols (fun c -> Iset.union (row r) (col c)))
+      (List.init rows (fun r -> r))
+  in
+  of_sets ~universe sets
+
+let is_quorum t members =
+  let m = Iset.of_list members in
+  List.exists (fun q -> Iset.subset q m) t.quorums
+
+let pairwise_intersecting t =
+  let rec go = function
+    | [] -> true
+    | q :: rest ->
+      List.for_all (fun q' -> not (Iset.is_empty (Iset.inter q q'))) rest
+      && go rest
+  in
+  go t.quorums
+
+let is_minimal t =
+  let rec go = function
+    | [] -> true
+    | q :: rest ->
+      List.for_all
+        (fun q' -> not (Iset.subset q q') && not (Iset.subset q' q))
+        rest
+      && go rest
+  in
+  go t.quorums
+
+let min_quorum_size t =
+  List.fold_left (fun acc q -> min acc (Iset.cardinal q)) max_int t.quorums
+
+let max_quorum_size t =
+  List.fold_left (fun acc q -> max acc (Iset.cardinal q)) 0 t.quorums
+
+let available_under t ~crashed =
+  let dead = Iset.of_list crashed in
+  List.exists (fun q -> Iset.is_empty (Iset.inter q dead)) t.quorums
+
+let crash_tolerance t =
+  (* Smallest hitting set of the family, minus one: search f upward. *)
+  let n = t.universe in
+  let kills_all f =
+    (* Does some f-subset intersect every quorum? *)
+    let rec search chosen start remaining =
+      if remaining = 0 then
+        List.for_all (fun q -> not (Iset.is_empty (Iset.inter q chosen))) t.quorums
+      else if start >= n then false
+      else
+        search (Iset.add start chosen) (start + 1) (remaining - 1)
+        || search chosen (start + 1) remaining
+    in
+    search Iset.empty 0 f
+  in
+  let rec go f = if f >= n then n else if kills_all (f + 1) then f else go (f + 1) in
+  go 0
+
+let pp ppf t =
+  Format.fprintf ppf "coterie over %d servers, %d quorums (sizes %d..%d)"
+    t.universe (List.length t.quorums) (min_quorum_size t) (max_quorum_size t)

@@ -1,0 +1,51 @@
+(** Explicit quorum families (coteries).
+
+    The register protocols only need threshold quorums ({!Quorum}), but
+    the quorum-system theory the paper builds on is about general
+    families: any set of mutually intersecting server subsets supports an
+    ABD-style register, trading availability against load.  This module
+    provides the classical constructions and the predicates that justify
+    them, so the repository's quorum layer is a usable library rather
+    than a single special case. *)
+
+type t
+
+val of_lists : universe:int -> int list list -> t
+(** Build from explicit quorums (deduplicated, each within range).
+    Raises on empty families, empty quorums, or out-of-range members. *)
+
+val universe : t -> int
+val quorums : t -> int list list
+(** Sorted members, sorted lexicographically. *)
+
+val majority : universe:int -> t
+(** All subsets of size ⌊n/2⌋+1 — materialised; keep [universe] small. *)
+
+val threshold : universe:int -> size:int -> t
+(** All subsets of the given size. *)
+
+val grid : rows:int -> cols:int -> t
+(** Servers arranged in a rows×cols grid; a quorum is one full row plus
+    one full column.  Quorum size Θ(√n) versus the majority's Θ(n). *)
+
+val is_quorum : t -> int list -> bool
+(** Does the set contain some quorum of the family? *)
+
+val pairwise_intersecting : t -> bool
+(** The coterie property: every two quorums share a server — the
+    precondition for register atomicity over the family. *)
+
+val is_minimal : t -> bool
+(** No quorum strictly contains another (coterie minimality). *)
+
+val min_quorum_size : t -> int
+val max_quorum_size : t -> int
+
+val available_under : t -> crashed:int list -> bool
+(** Some quorum avoids every crashed server. *)
+
+val crash_tolerance : t -> int
+(** Largest [f] such that every f-subset of servers leaves some quorum
+    alive.  (Exponential in principle; fine for the sizes used here.) *)
+
+val pp : Format.formatter -> t -> unit

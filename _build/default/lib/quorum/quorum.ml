@@ -1,0 +1,34 @@
+type t = { servers : int; quorum_size : int }
+
+let threshold ~servers ~quorum_size =
+  if servers <= 0 then invalid_arg "Quorum.threshold: servers must be positive";
+  if quorum_size <= 0 || quorum_size > servers then
+    invalid_arg "Quorum.threshold: quorum_size out of range";
+  { servers; quorum_size }
+
+let majority ~servers = threshold ~servers ~quorum_size:((servers / 2) + 1)
+
+let crash_tolerant ~servers ~t =
+  if t < 0 || t >= servers then
+    invalid_arg "Quorum.crash_tolerant: need 0 <= t < servers";
+  threshold ~servers ~quorum_size:(servers - t)
+
+let servers t = t.servers
+
+let quorum_size t = t.quorum_size
+
+let is_quorum t ids =
+  let distinct = List.sort_uniq compare ids in
+  List.for_all (fun i -> i >= 0 && i < t.servers) distinct
+  && List.length distinct >= t.quorum_size
+
+let always_intersecting t = (2 * t.quorum_size) > t.servers
+
+let intersection_at_least t = max 0 ((2 * t.quorum_size) - t.servers)
+
+let available_under t ~crashed = t.servers - crashed >= t.quorum_size
+
+let tolerates t = t.servers - t.quorum_size
+
+let pp ppf t =
+  Format.fprintf ppf "threshold(%d of %d)" t.quorum_size t.servers

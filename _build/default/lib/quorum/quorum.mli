@@ -1,0 +1,40 @@
+(** Quorum systems over a set of servers [{0, …, S−1}].
+
+    The protocols in this repository all use threshold quorums — any
+    [S − t] servers — which is what "wait for S − t replies" implements.
+    This module makes the quorum structure explicit so its properties
+    (intersection, availability under ≤ t crashes) can be stated and
+    tested independently of any protocol. *)
+
+type t
+(** A quorum system: a universe size and a family of quorums. *)
+
+val threshold : servers:int -> quorum_size:int -> t
+(** All subsets of size [quorum_size] (represented implicitly). *)
+
+val majority : servers:int -> t
+(** Threshold system with quorums of size [⌊S/2⌋ + 1]. *)
+
+val crash_tolerant : servers:int -> t:int -> t
+(** Threshold system with quorums of size [S − t] — the paper's
+    "wait for S − t replies" rule. *)
+
+val servers : t -> int
+val quorum_size : t -> int
+
+val is_quorum : t -> int list -> bool
+(** Does this set of (distinct, in-range) server ids contain a quorum? *)
+
+val always_intersecting : t -> bool
+(** Every two quorums share at least one server: [2·size > S]. *)
+
+val intersection_at_least : t -> int
+(** Minimum possible overlap of two quorums: [max 0 (2·size − S)]. *)
+
+val available_under : t -> crashed:int -> bool
+(** Some quorum survives when [crashed] servers have failed. *)
+
+val tolerates : t -> int
+(** Largest number of crashes under which a quorum always survives. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/registers/abd_mwmr.ml: Array Client_core Cluster_base Protocol Quorums Wire

@@ -1,0 +1,1 @@
+lib/registers/abd_mwmr.mli: Checker Protocol Quorums

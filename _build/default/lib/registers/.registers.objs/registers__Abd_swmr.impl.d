@@ -1,0 +1,1 @@
+lib/registers/abd_swmr.ml: Client_core Cluster_base Protocol Quorums Tstamp

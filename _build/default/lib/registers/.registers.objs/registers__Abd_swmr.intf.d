@@ -1,0 +1,1 @@
+lib/registers/abd_swmr.mli: Checker Protocol Quorums

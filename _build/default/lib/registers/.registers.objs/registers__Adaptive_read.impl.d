@@ -1,0 +1,1 @@
+lib/registers/adaptive_read.ml: Array Client_core Cluster_base Env List Protocol Quorums Round_trip Tstamp Wire

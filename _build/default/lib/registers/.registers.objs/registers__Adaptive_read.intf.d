@@ -1,0 +1,1 @@
+lib/registers/adaptive_read.mli: Checker Protocol Quorums

@@ -1,0 +1,1 @@
+lib/registers/client_core.ml: Array Cluster_base Hashtbl Int List Protocol Round_trip Set Tstamp Wire

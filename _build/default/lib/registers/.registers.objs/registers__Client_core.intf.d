@@ -1,0 +1,1 @@
+lib/registers/client_core.mli: Checker Cluster_base Tstamp Wire

@@ -1,0 +1,1 @@
+lib/registers/cluster_base.ml: Array Control Env Message Network Protocol Replica Round_trip Server Simulation Topology Wire

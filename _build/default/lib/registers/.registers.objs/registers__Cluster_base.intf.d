@@ -1,0 +1,1 @@
+lib/registers/cluster_base.mli: Control Env Message Network Protocol Replica Round_trip Simulation Wire

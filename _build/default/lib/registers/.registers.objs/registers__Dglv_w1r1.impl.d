@@ -1,0 +1,1 @@
+lib/registers/dglv_w1r1.ml: Array Client_core Cluster_base Protocol Quorums Tstamp Wire

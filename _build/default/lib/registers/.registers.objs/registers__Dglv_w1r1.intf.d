@@ -1,0 +1,1 @@
+lib/registers/dglv_w1r1.mli: Checker Protocol Quorums

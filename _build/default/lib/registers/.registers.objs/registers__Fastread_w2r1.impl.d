@@ -1,0 +1,1 @@
+lib/registers/fastread_w2r1.ml: Array Client_core Cluster_base Protocol Quorums Wire

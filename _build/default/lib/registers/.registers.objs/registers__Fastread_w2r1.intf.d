@@ -1,0 +1,1 @@
+lib/registers/fastread_w2r1.mli: Checker Client_core Protocol Quorums

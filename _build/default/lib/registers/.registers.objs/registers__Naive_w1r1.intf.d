@@ -1,0 +1,1 @@
+lib/registers/naive_w1r1.mli: Checker Protocol Quorums

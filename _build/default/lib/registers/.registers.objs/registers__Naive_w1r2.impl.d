@@ -1,0 +1,1 @@
+lib/registers/naive_w1r2.ml: Array Client_core Cluster_base Protocol Quorums Tstamp

@@ -1,0 +1,1 @@
+lib/registers/naive_w1r2.mli: Checker Protocol Quorums

@@ -1,0 +1,1 @@
+lib/registers/registry.ml: Abd_mwmr Abd_swmr Adaptive_read Dglv_w1r1 Fastread_w2r1 List Naive_w1r1 Naive_w1r2 Protocol Slow_write_w3r1 String

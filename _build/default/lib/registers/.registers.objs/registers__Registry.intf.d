@@ -1,0 +1,1 @@
+lib/registers/registry.mli: Protocol Quorums

@@ -1,0 +1,1 @@
+lib/registers/replica.ml: Hashtbl Int List Set Tstamp Wire

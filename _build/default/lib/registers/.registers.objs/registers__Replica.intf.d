@@ -1,0 +1,1 @@
+lib/registers/replica.mli: Wire

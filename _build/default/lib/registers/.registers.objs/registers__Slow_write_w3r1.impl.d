@@ -1,0 +1,1 @@
+lib/registers/slow_write_w3r1.ml: Array Client_core Cluster_base Protocol Quorums Tstamp Wire

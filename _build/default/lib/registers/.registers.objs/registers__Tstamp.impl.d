@@ -1,0 +1,1 @@
+lib/registers/tstamp.ml: Checker Stdlib

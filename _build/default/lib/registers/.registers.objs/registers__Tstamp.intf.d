@@ -1,0 +1,1 @@
+lib/registers/tstamp.mli: Checker Format

@@ -1,0 +1,1 @@
+lib/registers/wire.ml: Format Histories List Tstamp

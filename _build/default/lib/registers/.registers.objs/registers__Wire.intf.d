@@ -1,0 +1,1 @@
+lib/registers/wire.mli: Format Tstamp

@@ -1,0 +1,32 @@
+(** LS97: the multi-writer W2R2 baseline (Lynch & Shvartsman 1997).
+
+    Two-round writes (query [maxTS], then update [(maxTS+1, wᵢ)]) and
+    two-round reads (query, then write back the maximum before
+    returning).  Atomic whenever [t < S/2] — the top of the Fig. 2
+    lattice and the "slow but safe" reference every fast variant is
+    measured against. *)
+
+let name = "LS97 ABD-MW"
+
+let design_point = Quorums.Bounds.W2R2
+
+type cluster = {
+  base : Cluster_base.t;
+  last_written : Wire.value ref array; (* per writer *)
+}
+
+let create env =
+  let base = Cluster_base.create env in
+  {
+    base;
+    last_written =
+      Array.init (Protocol.Env.w env) (fun _ -> ref Wire.initial_value_entry);
+  }
+
+let control c = c.base.Cluster_base.ctl
+
+let write c ~writer ~value ~k =
+  Client_core.two_round_write c.base ~writer ~payload:value
+    ~last_written:c.last_written.(writer) ~k
+
+let read c ~reader ~k = Client_core.two_round_read c.base ~reader ~k

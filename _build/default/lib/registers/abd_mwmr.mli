@@ -1,0 +1,20 @@
+(** See the module implementation header for the protocol description.
+    Implements {!Protocol.Register_intf.S}. *)
+
+val name : string
+val design_point : Quorums.Bounds.design_point
+
+type cluster
+
+val create : Protocol.Env.t -> cluster
+val control : cluster -> Protocol.Control.t
+
+val write :
+  cluster ->
+  writer:int ->
+  value:int ->
+  k:(Checker.Mw_properties.tag option -> unit) ->
+  unit
+
+val read :
+  cluster -> reader:int -> k:(int -> Checker.Mw_properties.tag option -> unit) -> unit

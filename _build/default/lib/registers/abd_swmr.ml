@@ -1,0 +1,27 @@
+(** ABD'95: the single-writer register (Attiya, Bar-Noy & Dolev).
+
+    The lone writer numbers its own writes, so a write is *fast* — one
+    update round — while reads take two rounds (query + write-back).
+    This is the W1R2 design point at [W = 1]: it exists, and it marks the
+    exact boundary of Theorem 1, which kills W1R2 as soon as [W ≥ 2].
+    The cluster refuses multi-writer environments. *)
+
+let name = "ABD'95 SWMR"
+
+let design_point = Quorums.Bounds.W1R2
+
+type cluster = { base : Cluster_base.t; clock : Tstamp.t ref }
+
+let create env =
+  if Protocol.Env.w env <> 1 then
+    invalid_arg "Abd_swmr.create: the single-writer protocol needs exactly 1 writer";
+  { base = Cluster_base.create env; clock = ref Tstamp.initial }
+
+let control c = c.base.Cluster_base.ctl
+
+let write c ~writer ~value ~k =
+  assert (writer = 0);
+  Client_core.one_round_write c.base ~writer ~wid:0 ~payload:value ~clock:c.clock
+    ~learn:false ~k
+
+let read c ~reader ~k = Client_core.two_round_read c.base ~reader ~k

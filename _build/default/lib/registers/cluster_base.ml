@@ -1,0 +1,52 @@
+open Protocol
+open Simulation
+
+type endpoint = (Wire.req, Wire.rep) Round_trip.t
+
+type t = {
+  env : Env.t;
+  net : (Wire.req, Wire.rep) Message.t Network.t;
+  replicas : Replica.t array;
+  writer_eps : endpoint array;
+  reader_eps : endpoint array;
+  ctl : Control.t;
+}
+
+let create (env : Env.t) =
+  let topo = env.Env.topology in
+  let net =
+    Network.create env.Env.engine ~latency:env.Env.latency ?trace:env.Env.trace ()
+  in
+  Network.forbid net (fun ~src ~dst -> Topology.forbidden topo ~src ~dst);
+  let replicas =
+    Array.init topo.Topology.servers (fun i ->
+        let replica = Replica.create () in
+        Server.attach ~net
+          ~node:(Topology.server_node topo i)
+          ~handler:(fun ~client req -> Replica.handle replica ~client req);
+        replica)
+  in
+  let servers = Topology.server_nodes topo in
+  let quorum = Env.quorum_size env in
+  let writer_eps =
+    Array.init topo.Topology.writers (fun i ->
+        Round_trip.create ~net ~node:(Topology.writer_node topo i) ~servers ~quorum)
+  in
+  let reader_eps =
+    Array.init topo.Topology.readers (fun i ->
+        Round_trip.create ~net ~node:(Topology.reader_node topo i) ~servers ~quorum)
+  in
+  let ctl = Control.of_network net ~topology:topo in
+  { env; net; replicas; writer_eps; reader_eps; ctl }
+
+let writer_node t i = Topology.writer_node t.env.Env.topology i
+
+let reader_node t i = Topology.reader_node t.env.Env.topology i
+
+let quorum t = Env.quorum_size t.env
+
+let s t = Env.s t.env
+
+let tolerance t = Env.t_ t.env
+
+let readers t = Env.r t.env

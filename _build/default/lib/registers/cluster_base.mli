@@ -1,0 +1,33 @@
+(** Shared cluster plumbing.
+
+    Every protocol cluster consists of the same physical pieces: one
+    private network (with the model's server↔server and client↔client
+    bans installed), [S] replicas attached as servers, and one
+    {!Protocol.Round_trip} endpoint per writer and per reader.  Protocols
+    build on this and add only their client-side state. *)
+
+open Protocol
+open Simulation
+
+type endpoint = (Wire.req, Wire.rep) Round_trip.t
+
+type t = {
+  env : Env.t;
+  net : (Wire.req, Wire.rep) Message.t Network.t;
+  replicas : Replica.t array;
+  writer_eps : endpoint array;
+  reader_eps : endpoint array;
+  ctl : Control.t;
+}
+
+val create : Env.t -> t
+
+val writer_node : t -> int -> int
+val reader_node : t -> int -> int
+
+val quorum : t -> int
+(** [S − t]. *)
+
+val s : t -> int
+val tolerance : t -> int
+val readers : t -> int

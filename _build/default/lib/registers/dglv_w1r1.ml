@@ -1,0 +1,39 @@
+(** DGLV10: the single-writer *fast* register (Dutta, Guerraoui, Levy &
+    Vukolić, "Fast access to distributed atomic memory").
+
+    Both operations are one round-trip: the single writer numbers its own
+    writes locally and updates all servers in one round; readers use the
+    admissible-predicate fast read.  Atomic exactly when [W = 1] and
+    [R < S/t − 2] — the W1R1 design point on the single-writer side of
+    the boundary that this paper's Table 1 closes for [W ≥ 2]. *)
+
+let name = "DGLV10 SW-fast"
+
+let design_point = Quorums.Bounds.W1R1
+
+type cluster = {
+  base : Cluster_base.t;
+  clock : Tstamp.t ref;
+  val_queues : Wire.value list ref array;
+}
+
+let create env =
+  if Protocol.Env.w env <> 1 then
+    invalid_arg "Dglv_w1r1.create: the single-writer protocol needs exactly 1 writer";
+  let base = Cluster_base.create env in
+  {
+    base;
+    clock = ref Tstamp.initial;
+    val_queues =
+      Array.init (Protocol.Env.r env) (fun _ -> ref [ Wire.initial_value_entry ]);
+  }
+
+let control c = c.base.Cluster_base.ctl
+
+let write c ~writer ~value ~k =
+  assert (writer = 0);
+  Client_core.one_round_write c.base ~writer ~wid:0 ~payload:value ~clock:c.clock
+    ~learn:false ~k
+
+let read c ~reader ~k =
+  Client_core.fast_read c.base ~reader ~val_queue:c.val_queues.(reader) ~k

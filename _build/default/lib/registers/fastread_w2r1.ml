@@ -1,0 +1,50 @@
+(** The paper's W2R1 implementation (Algorithm 1 & 2, §5.2, Appendix A).
+
+    Writes take two rounds: the writer queries all servers for the
+    maximum timestamp (propagating its own last value — the [(read,
+    maxTS)] message) and then updates [(maxTS + 1, wᵢ)] everywhere, so
+    non-concurrent writes from different writers are ordered by timestamp
+    and concurrent ones by writer id (MWA0).
+
+    Reads are *fast*: a single round.  The reader sends its [valQueue]
+    (servers fold it in before replying — that propagation is what lets
+    later readers certify values), collects [S − t] READACKs, and returns
+    the largest value [admissible] with some degree [a ∈ [1, R+1]].
+
+    Atomic exactly when [R < S/t − 2]; beyond that threshold the
+    admissible predicate degenerates (see `fig9`). *)
+
+let name = "Huang et al. W2R1"
+
+let design_point = Quorums.Bounds.W2R1
+
+type cluster = {
+  base : Cluster_base.t;
+  last_written : Wire.value ref array; (* per writer *)
+  val_queues : Wire.value list ref array; (* per reader *)
+  mutable probe : (Client_core.read_probe -> unit) option;
+}
+
+let create env =
+  let base = Cluster_base.create env in
+  {
+    base;
+    last_written =
+      Array.init (Protocol.Env.w env) (fun _ -> ref Wire.initial_value_entry);
+    val_queues =
+      Array.init (Protocol.Env.r env) (fun _ -> ref [ Wire.initial_value_entry ]);
+    probe = None;
+  }
+
+(** Install an observation hook on every fast read (lemma tests). *)
+let set_probe c probe = c.probe <- probe
+
+let control c = c.base.Cluster_base.ctl
+
+let write c ~writer ~value ~k =
+  Client_core.two_round_write c.base ~writer ~payload:value
+    ~last_written:c.last_written.(writer) ~k
+
+let read c ~reader ~k =
+  Client_core.fast_read ?probe:c.probe c.base ~reader
+    ~val_queue:c.val_queues.(reader) ~k

@@ -1,0 +1,29 @@
+(** The doubly-naive candidate: fast write *and* fast read (W1R1).
+
+    Writers behave like {!Naive_w1r2}; readers do one query round and
+    return the maximum value seen, with no write-back and no
+    admissibility certificate.  DGLV10 proved this design point empty for
+    [W ≥ 2, R ≥ 2, t ≥ 1]; here even the single-writer regime breaks for
+    [R ≥ S/t − 2]-style schedules because nothing prevents new/old
+    inversions between readers that observe disjoint quorums. *)
+
+let name = "naive fast-write/fast-read"
+
+let design_point = Quorums.Bounds.W1R1
+
+type cluster = {
+  base : Cluster_base.t;
+  clocks : Tstamp.t ref array;
+}
+
+let create env =
+  let base = Cluster_base.create env in
+  { base; clocks = Array.init (Protocol.Env.w env) (fun _ -> ref Tstamp.initial) }
+
+let control c = c.base.Cluster_base.ctl
+
+let write c ~writer ~value ~k =
+  Client_core.one_round_write c.base ~writer ~wid:writer ~payload:value
+    ~clock:c.clocks.(writer) ~learn:true ~k
+
+let read c ~reader ~k = Client_core.one_round_read_max c.base ~reader ~k

@@ -1,0 +1,39 @@
+let abd_mwmr : Protocol.Register_intf.t = (module Abd_mwmr)
+
+let abd_swmr : Protocol.Register_intf.t = (module Abd_swmr)
+
+let fastread_w2r1 : Protocol.Register_intf.t = (module Fastread_w2r1)
+
+let dglv_w1r1 : Protocol.Register_intf.t = (module Dglv_w1r1)
+
+let naive_w1r2 : Protocol.Register_intf.t = (module Naive_w1r2)
+
+let naive_w1r1 : Protocol.Register_intf.t = (module Naive_w1r1)
+
+let adaptive : Protocol.Register_intf.t = (module Adaptive_read)
+
+let slow_write_w3r1 : Protocol.Register_intf.t = (module Slow_write_w3r1)
+
+let all =
+  [ abd_mwmr; abd_swmr; fastread_w2r1; dglv_w1r1; naive_w1r2; naive_w1r1;
+    adaptive; slow_write_w3r1 ]
+
+let multi_writer = [ abd_mwmr; naive_w1r2; fastread_w2r1; naive_w1r1 ]
+
+let name (r : Protocol.Register_intf.t) =
+  let module R = (val r) in
+  R.name
+
+let design_point (r : Protocol.Register_intf.t) =
+  let module R = (val r) in
+  R.design_point
+
+let find needle =
+  let lower = String.lowercase_ascii needle in
+  let contains hay =
+    let hay = String.lowercase_ascii hay in
+    let n = String.length lower and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = lower || go (i + 1)) in
+    n = 0 || go 0
+  in
+  List.find_opt (fun r -> contains (name r)) all

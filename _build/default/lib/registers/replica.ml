@@ -1,0 +1,58 @@
+module Iset = Set.Make (Int)
+
+type entry = { payload : int; mutable updated : Iset.t }
+
+type t = {
+  mutable current : Wire.value;
+  vector : (Tstamp.t, entry) Hashtbl.t;
+}
+
+let create () =
+  let t = { current = Wire.initial_value_entry; vector = Hashtbl.create 16 } in
+  Hashtbl.replace t.vector Tstamp.initial
+    { payload = Wire.initial_value_entry.Wire.payload; updated = Iset.empty };
+  t
+
+let update t (v : Wire.value) c =
+  match Hashtbl.find_opt t.vector v.Wire.tag with
+  | Some e ->
+    e.updated <- Iset.add c e.updated;
+    if Wire.compare_value v t.current > 0 then t.current <- v
+  | None ->
+    Hashtbl.replace t.vector v.Wire.tag
+      { payload = v.Wire.payload; updated = Iset.singleton c };
+    if Wire.compare_value v t.current > 0 then t.current <- v
+
+let snapshot t =
+  Hashtbl.fold
+    (fun tag e acc ->
+      (({ Wire.tag; payload = e.payload } : Wire.value), Iset.elements e.updated)
+      :: acc)
+    t.vector []
+  |> List.sort (fun (a, _) (b, _) -> Wire.compare_value a b)
+
+let handle t ~client req =
+  match req with
+  | Wire.Update v ->
+    update t v client;
+    Wire.Write_ack { current = t.current }
+  | Wire.Query vq ->
+    List.iter (fun v -> update t v client) vq;
+    (* Record that this client is being told every value in the reply,
+       before replying — the rule the Appendix-A proofs rely on ("every
+       server which replies to r₂ adds r₂ to its updated set before
+       replying", used for arbitrary values in Lemmas 5 and 8).  Without
+       it, a completed write is not admissible with degree 2 (MWA2
+       breaks) and one read's certificate is invisible to later reads
+       (MWA4 breaks). *)
+    Hashtbl.iter (fun _ e -> e.updated <- Iset.add client e.updated) t.vector;
+    Wire.Read_ack { current = t.current; vector = snapshot t }
+
+let current t = t.current
+
+let vector_size t = Hashtbl.length t.vector
+
+let updated_set t (v : Wire.value) =
+  match Hashtbl.find_opt t.vector v.Wire.tag with
+  | None -> []
+  | Some e -> Iset.elements e.updated

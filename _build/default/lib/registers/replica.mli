@@ -1,0 +1,30 @@
+(** The server replica (Algorithm 2).
+
+    State per server: [valᵢ], the largest value seen, and [valuevector],
+    a map from each value ever received to the set of clients that have
+    propagated it to this server ([updated]).  [update(val, c)]:
+
+    - if [val > valᵢ]: record [val] with [updated = {c}] and set
+      [valᵢ ← val];
+    - otherwise: add [c] to [val]'s [updated] set.
+
+    On [(write, val)] the server updates and ACKs; on [(read, valQueue)]
+    it updates with every queued value {i before} replying with its full
+    state.  Note the server never contacts other servers — the paper's
+    model has no server-to-server channel at all. *)
+
+type t
+
+val create : unit -> t
+
+val handle : t -> client:int -> Wire.req -> Wire.rep
+(** Process one request, mutating the replica. *)
+
+val current : t -> Wire.value
+(** [valᵢ], for tests and traces. *)
+
+val vector_size : t -> int
+(** Number of distinct values in the valuevector. *)
+
+val updated_set : t -> Wire.value -> int list
+(** The [updated] set recorded for a value (sorted), or [[]]. *)

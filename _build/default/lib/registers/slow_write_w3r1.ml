@@ -1,0 +1,46 @@
+(** WkR1 with k = 3: a three-round write with the fast read.
+
+    §5.1 notes the fast-read impossibility "does not depend on how many
+    round-trips a write operation has" — slowing writes down further buys
+    nothing for readers.  This register makes that executable: writes
+    take *three* rounds (query, update, and a redundant confirm round
+    re-sending the same value), reads are the admissible fast read.  The
+    threshold experiment shows it lives and dies at exactly the same
+    [R < S/t − 2] boundary as the two-round-write version. *)
+
+let name = "W3R1 (3-round write)"
+
+let design_point = Quorums.Bounds.W2R1 (* reads fast; writes ≥ 2 rounds *)
+
+type cluster = {
+  base : Cluster_base.t;
+  last_written : Wire.value ref array;
+  val_queues : Wire.value list ref array;
+}
+
+let create env =
+  let base = Cluster_base.create env in
+  {
+    base;
+    last_written =
+      Array.init (Protocol.Env.w env) (fun _ -> ref Wire.initial_value_entry);
+    val_queues =
+      Array.init (Protocol.Env.r env) (fun _ -> ref [ Wire.initial_value_entry ]);
+  }
+
+let control c = c.base.Cluster_base.ctl
+
+let write c ~writer ~value ~k =
+  let ep = c.base.Cluster_base.writer_eps.(writer) in
+  let last_written = c.last_written.(writer) in
+  Protocol.Round_trip.exec ep (Wire.Query [ !last_written ]) (fun replies ->
+      let maxv = Client_core.max_current replies in
+      let tag = Tstamp.next maxv.Wire.tag ~wid:writer in
+      let v = { Wire.tag; payload = value } in
+      last_written := v;
+      Protocol.Round_trip.exec ep (Wire.Update v) (fun _ ->
+          (* The redundant third round: re-announce the same value. *)
+          Protocol.Round_trip.exec ep (Wire.Update v) (fun _ -> k (Some tag))))
+
+let read c ~reader ~k =
+  Client_core.fast_read c.base ~reader ~val_queue:c.val_queues.(reader) ~k

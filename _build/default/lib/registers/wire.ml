@@ -1,0 +1,27 @@
+type value = { tag : Tstamp.t; payload : int }
+
+let initial_value_entry =
+  { tag = Tstamp.initial; payload = Histories.History.initial_value }
+
+let compare_value a b = Tstamp.compare a.tag b.tag
+
+let value_max a b = if compare_value a b >= 0 then a else b
+
+let pp_value ppf v = Format.fprintf ppf "%a=%d" Tstamp.pp v.tag v.payload
+
+type req = Query of value list | Update of value
+
+type rep =
+  | Read_ack of { current : value; vector : (value * int list) list }
+  | Write_ack of { current : value }
+
+let pp_req ppf = function
+  | Query vs ->
+    Format.fprintf ppf "query[%a]" (Format.pp_print_list pp_value) vs
+  | Update v -> Format.fprintf ppf "update[%a]" pp_value v
+
+let pp_rep ppf = function
+  | Read_ack { current; vector } ->
+    Format.fprintf ppf "read_ack[cur=%a, |vec|=%d]" pp_value current
+      (List.length vector)
+  | Write_ack { current } -> Format.fprintf ppf "write_ack[cur=%a]" pp_value current

@@ -1,0 +1,1 @@
+lib/simulation/heap.ml: Array

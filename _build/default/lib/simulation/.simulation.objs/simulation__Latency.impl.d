@@ -1,0 +1,1 @@
+lib/simulation/latency.ml: Printf Rng

@@ -1,0 +1,1 @@
+lib/simulation/network.ml: Engine Hashtbl Latency List Printf Rng Trace

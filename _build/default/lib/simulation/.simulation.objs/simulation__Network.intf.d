@@ -1,0 +1,1 @@
+lib/simulation/network.mli: Engine Latency Trace

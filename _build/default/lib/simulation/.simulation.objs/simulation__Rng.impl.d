@@ -1,0 +1,1 @@
+lib/simulation/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/simulation/trace.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/simulation/trace.mli: Format

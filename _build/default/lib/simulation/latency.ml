@@ -1,0 +1,41 @@
+type t = { name : string; draw : Rng.t -> src:int -> dst:int -> float }
+
+let name t = t.name
+
+let sample t rng ~src ~dst = t.draw rng ~src ~dst
+
+let constant d =
+  { name = Printf.sprintf "constant(%g)" d; draw = (fun _ ~src:_ ~dst:_ -> d) }
+
+let uniform ~lo ~hi =
+  {
+    name = Printf.sprintf "uniform(%g,%g)" lo hi;
+    draw = (fun rng ~src:_ ~dst:_ -> Rng.float_in_range rng ~lo ~hi);
+  }
+
+let exponential ~mean =
+  {
+    name = Printf.sprintf "exp(%g)" mean;
+    draw = (fun rng ~src:_ ~dst:_ -> Rng.exponential rng ~mean);
+  }
+
+let lognormal_like ~median ~spread =
+  assert (spread >= 1.0);
+  {
+    name = Printf.sprintf "lognormal(%g,%g)" median spread;
+    draw =
+      (fun rng ~src:_ ~dst:_ ->
+        let g = Rng.float_in_range rng ~lo:(-1.0) ~hi:1.0 in
+        median *. (spread ** g));
+  }
+
+let geo ~region_of ~local ~cross ~jitter =
+  {
+    name = Printf.sprintf "geo(local=%g,cross=%g)" local cross;
+    draw =
+      (fun rng ~src ~dst ->
+        let base = if region_of src = region_of dst then local else cross in
+        base +. Rng.float rng ~bound:jitter);
+  }
+
+let custom ~name draw = { name; draw }

@@ -1,0 +1,1 @@
+lib/workload/adversary.ml: Array Control Engine Hashtbl List Network Protocol Rng Runtime Simulation Topology

@@ -1,0 +1,1 @@
+lib/workload/adversary.mli: Control Engine Network Protocol Runtime Simulation Topology

@@ -1,0 +1,1 @@
+lib/workload/exhaustive.ml: Array Checker Control Env Format List Printf Protocol Runtime Simulation String Topology

@@ -1,0 +1,1 @@
+lib/workload/exhaustive.mli: Checker Format Protocol Register_intf

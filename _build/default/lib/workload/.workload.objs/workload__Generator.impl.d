@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Histories List Protocol Rng Runtime Simulation

@@ -1,0 +1,1 @@
+lib/workload/hunter.ml: Adversary Checker Env Format List Protocol Runtime Simulation Threshold

@@ -1,0 +1,1 @@
+lib/workload/hunter.mli: Checker Format Protocol Register_intf

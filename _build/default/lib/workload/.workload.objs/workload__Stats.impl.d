@@ -1,0 +1,1 @@
+lib/workload/stats.ml: Array Format Histories History List Op Stdlib

@@ -1,0 +1,1 @@
+lib/workload/threshold.ml: Adversary Checker Env Format List Printf Protocol Quorums Runtime Simulation

@@ -1,0 +1,1 @@
+lib/workload/threshold.mli: Format Protocol

@@ -1,0 +1,135 @@
+open Protocol
+
+type violation = {
+  order : int list;
+  skips : (int * int) list;
+  witness : Checker.Witness.t;
+}
+
+type outcome = {
+  runs : int;
+  exhaustive : bool;
+  violations : int;
+  first : violation option;
+}
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let slot_duration = 100.0
+
+(* One run: ops placed at their slots, the skip pattern realized by a
+   time-windowed filter.  digits.(rs) = 0 for no skip, or 1 + server. *)
+let run_one ~register ~s ~w ~r ~order ~digits =
+  let env =
+    Env.make ~seed:1 ~latency:(Simulation.Latency.constant 1.0) ~s ~t:1 ~w ~r ()
+  in
+  let topology = env.Env.topology in
+  let n = w + r in
+  let slot_of = Array.make n 0 in
+  List.iteri (fun slot op -> slot_of.(op) <- slot) order;
+  let node_of op =
+    if op < w then Topology.writer_node topology op
+    else Topology.reader_node topology (op - w)
+  in
+  let start_of op = float_of_int slot_of.(op) *. slot_duration in
+  let plans =
+    List.init n (fun op ->
+        if op < w then Runtime.write_plan ~writer:op ~start_at:(start_of op) 1
+        else Runtime.read_plan ~reader:(op - w) ~start_at:(start_of op) 1)
+  in
+  let adversary _ctl _engine = () in
+  ignore adversary;
+  let route ~src ~dst ~now =
+    if not (Topology.is_server topology dst) then Simulation.Network.Deliver
+    else begin
+      (* Which op and round does this message belong to? *)
+      let rec find op = if op >= n then None else if node_of op = src then Some op else find (op + 1) in
+      match find 0 with
+      | None -> Simulation.Network.Deliver
+      | Some op ->
+        let start = start_of op in
+        let round = if now < start +. 1.5 then 0 else 1 in
+        let digit = digits.((op * 2) + round) in
+        if digit = 1 + dst then Simulation.Network.Hold
+        else Simulation.Network.Deliver
+    end
+  in
+  let adversary ctl _engine = ctl.Control.set_route (Some route) in
+  let out = Runtime.run ~register ~env ~plans ~adversary () in
+  Checker.Atomicity.check out.Runtime.history
+
+let explore ?(max_runs = 100_000) ~register ~s ~w ~r () =
+  let n = w + r in
+  let digit_count = 2 * n in
+  let base = s + 1 in
+  let orders = permutations (List.init n (fun i -> i)) in
+  let digits = Array.make digit_count 0 in
+  let runs = ref 0 in
+  let violations = ref 0 in
+  let first = ref None in
+  let truncated = ref false in
+  (try
+     List.iter
+       (fun order ->
+         Array.fill digits 0 digit_count 0;
+         let continue = ref true in
+         while !continue do
+           if !runs >= max_runs then begin
+             truncated := true;
+             raise Exit
+           end;
+           incr runs;
+           (match run_one ~register ~s ~w ~r ~order ~digits with
+           | Ok () -> ()
+           | Error witness ->
+             incr violations;
+             if !first = None then
+               first :=
+                 Some
+                   {
+                     order;
+                     skips =
+                       Array.to_list digits
+                       |> List.mapi (fun rs d -> (rs, d - 1))
+                       |> List.filter (fun (_, srv) -> srv >= 0);
+                     witness;
+                   });
+           (* Mixed-radix increment. *)
+           let rec inc i =
+             if i >= digit_count then continue := false
+             else if digits.(i) + 1 < base then digits.(i) <- digits.(i) + 1
+             else begin
+               digits.(i) <- 0;
+               inc (i + 1)
+             end
+           in
+           inc 0
+         done)
+       orders
+   with Exit -> ());
+  {
+    runs = !runs;
+    exhaustive = not !truncated;
+    violations = !violations;
+    first = !first;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%d runs%s, %d violations%s" o.runs
+    (if o.exhaustive then " (exhaustive)" else " (truncated)")
+    o.violations
+    (match o.first with
+    | None -> ""
+    | Some v ->
+      Format.asprintf "; first: order [%s], skips [%s], %s"
+        (String.concat ";" (List.map string_of_int v.order))
+        (String.concat ";"
+           (List.map (fun (rs, srv) -> Printf.sprintf "r%d->s%d" rs srv) v.skips))
+        (Checker.Witness.short v.witness))

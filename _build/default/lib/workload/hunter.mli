@@ -1,0 +1,54 @@
+(** Violation hunting.
+
+    Possibility results are ∀-schedule statements (checked by sampling
+    and by {!Exhaustive} sweeps); impossibility results are ∃-schedule
+    statements — *some* execution breaks every implementation at that
+    design point.  The hunter searches for that execution: it iterates
+    schedule shapes (benign, random within-budget skips, crashes, the
+    writer-inversion pattern, the certificate-starvation attack) across
+    seeds until the checker produces a witness or the budget runs out.
+
+    A [None] answer is evidence, not proof, of possibility; a [Some]
+    answer is a replayable counterexample (shape + seed are enough to
+    reproduce it deterministically). *)
+
+open Protocol
+
+type shape = Benign | Skips | Crash | Inversion | Starvation
+
+val shape_to_string : shape -> string
+val all_shapes : shape list
+
+type found = {
+  shape : shape;
+  seed : int;
+  runs_tried : int;
+  witness : Checker.Witness.t;
+  mwa_failure : string option;
+}
+
+val run_shape :
+  register:Register_intf.t ->
+  s:int ->
+  t:int ->
+  w:int ->
+  r:int ->
+  seed:int ->
+  shape ->
+  (Checker.Witness.t option * string option)
+(** One run: the atomicity witness (if violated) and the first MWA
+    property violated (if any). *)
+
+val hunt :
+  ?shapes:shape list ->
+  ?seeds_per_shape:int ->
+  register:Register_intf.t ->
+  s:int ->
+  t:int ->
+  w:int ->
+  r:int ->
+  unit ->
+  (found option * int)
+(** Search; returns the first find and the total runs executed. *)
+
+val pp_found : Format.formatter -> found -> unit

@@ -1,0 +1,60 @@
+open Histories
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let empty =
+  { count = 0; mean = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0 }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+  end
+
+let of_latencies lats =
+  match lats with
+  | [] -> empty
+  | _ ->
+    let sorted = Array.of_list lats in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    let sum = Array.fold_left ( +. ) 0.0 sorted in
+    {
+      count = n;
+      mean = sum /. float_of_int n;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      p50 = percentile sorted 0.50;
+      p95 = percentile sorted 0.95;
+      p99 = percentile sorted 0.99;
+    }
+
+let latencies_of ~keep h =
+  List.filter_map
+    (fun (o : Op.t) ->
+      match o.Op.resp with
+      | Some f when keep o -> Some (f -. o.Op.inv)
+      | _ -> None)
+    (History.ops h)
+
+let read_latencies h = latencies_of ~keep:Op.is_read h
+
+let write_latencies h = latencies_of ~keep:Op.is_write h
+
+let reads h = of_latencies (read_latencies h)
+
+let writes h = of_latencies (write_latencies h)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f" s.count
+    s.mean s.p50 s.p95 s.p99 s.max

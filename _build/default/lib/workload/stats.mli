@@ -1,0 +1,33 @@
+(** Latency statistics over histories.
+
+    Operation latency is response time minus invocation time on the
+    simulator's virtual clock; under a given latency model this directly
+    reflects round-trip counts, which is the paper's cost measure
+    ("the latency of read and write operations is mainly decided by the
+    number of round-trips"). *)
+
+open Histories
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val empty : summary
+
+val of_latencies : float list -> summary
+
+val read_latencies : History.t -> float list
+(** Latencies of completed reads. *)
+
+val write_latencies : History.t -> float list
+
+val reads : History.t -> summary
+val writes : History.t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,58 @@
+open Protocol
+
+type verdict = {
+  s : int;
+  t : int;
+  r : int;
+  predicted_possible : bool;
+  atomic : bool;
+  mwa_failure : string option;
+  witness : string option;
+}
+
+let attack ~register ~s ~t ~r =
+  let env =
+    Env.make ~seed:1 ~latency:(Simulation.Latency.constant 1.0) ~s ~t ~w:2 ~r ()
+  in
+  let topology = env.Env.topology in
+  let adversary = Adversary.certificate_starvation ~topology ~t () in
+  let plans = Adversary.threshold_plans ~topology in
+  let out =
+    Runtime.run ~register ~env ~plans
+      ~adversary:(Adversary.apply adversary) ()
+  in
+  let atomic = Checker.Atomicity.is_atomic out.Runtime.history in
+  let witness =
+    match Checker.Atomicity.check out.Runtime.history with
+    | Ok () -> None
+    | Error w -> Some (Checker.Witness.short w)
+  in
+  let mwa_failure =
+    match Checker.Mw_properties.failures (Checker.Mw_properties.check out.Runtime.tagged) with
+    | [] -> None
+    | (name, _) :: _ -> Some name
+  in
+  {
+    s;
+    t;
+    r;
+    predicted_possible = Quorums.Bounds.w2r1_possible ~s ~t ~r;
+    atomic;
+    mwa_failure;
+    witness;
+  }
+
+let sweep ~register ~s ~t ~r_max =
+  List.init (r_max - 1) (fun i -> attack ~register ~s ~t ~r:(i + 2))
+
+let boundary_matches v = v.predicted_possible = v.atomic
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "S=%d t=%d R=%d predicted=%s measured=%s%s" v.s v.t v.r
+    (if v.predicted_possible then "possible" else "impossible")
+    (if v.atomic then "atomic" else "violated")
+    (match (v.witness, v.mwa_failure) with
+    | Some w, Some m -> Printf.sprintf " (%s, %s)" w m
+    | Some w, None -> Printf.sprintf " (%s)" w
+    | None, Some m -> Printf.sprintf " (%s)" m
+    | None, None -> "")

@@ -1,0 +1,32 @@
+(** The fast-read possibility threshold experiment (Fig. 9 + §5.2).
+
+    For each reader count R, run the W2R1 register (Algorithm 1 & 2)
+    against the certificate-starvation adversary and ask the checkers
+    whether atomicity (and MWA0–MWA4) survived.  The paper predicts a
+    sharp boundary at [R < S/t − 2]: below it the implementation is
+    proven correct; at and above it no fast-read implementation exists,
+    and the adversary exhibits the new/old inversion concretely. *)
+
+type verdict = {
+  s : int;
+  t : int;
+  r : int;
+  predicted_possible : bool;    (** [R < S/t − 2] (and t < S/2). *)
+  atomic : bool;                (** Checker verdict on the run. *)
+  mwa_failure : string option;  (** First MWA property violated, if any. *)
+  witness : string option;      (** Short witness classification. *)
+}
+
+val attack : register:Protocol.Register_intf.t -> s:int -> t:int -> r:int -> verdict
+(** One run of the certificate-starvation schedule ([W = 2] writers). *)
+
+val sweep :
+  register:Protocol.Register_intf.t -> s:int -> t:int -> r_max:int -> verdict list
+(** [attack] for R = 2 … r_max. *)
+
+val boundary_matches : verdict -> bool
+(** Did the empirical verdict land on the predicted side?  (In the
+    possible regime the run must be atomic; in the impossible regime this
+    particular adversary must have produced a violation.) *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Atomicity Checker Consistency Float Format Histories History Interval Linearizability List Mw_properties Op QCheck QCheck_alcotest Result Witness

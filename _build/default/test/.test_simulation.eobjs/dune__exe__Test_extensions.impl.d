@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Checker Env Histories History Impossibility List Op Printf Protocol QCheck QCheck_alcotest Registers Result Runtime Serial Simulation String Workload

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Histories History List Op Recorder Result

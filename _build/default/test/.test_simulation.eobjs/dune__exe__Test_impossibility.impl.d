@@ -1,0 +1,1 @@
+test/test_impossibility.ml: Alcotest Array Chain_alpha Chain_beta Exec_model Format Impossibility List Printf QCheck QCheck_alcotest Sieve Strategy Token W1r2_theorem Zigzag

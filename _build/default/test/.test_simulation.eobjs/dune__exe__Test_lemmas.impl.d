@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Client_core Control Env Fastread_w2r1 List Protocol Registers Simulation Tstamp Workload

@@ -1,0 +1,1 @@
+test/test_properties.ml: Adversary Alcotest Checker Env Hashtbl Histories List Printf Protocol QCheck QCheck_alcotest Quorums Registers Runtime Simulation Topology Workload

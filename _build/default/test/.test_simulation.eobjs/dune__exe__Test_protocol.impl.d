@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Checker Control Engine Env Histories Latency List Network Option Protocol Registers Round_trip Runtime Server Simulation Topology

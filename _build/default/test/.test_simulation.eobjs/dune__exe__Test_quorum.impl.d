@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Bounds Coterie List QCheck QCheck_alcotest Quorum Quorums

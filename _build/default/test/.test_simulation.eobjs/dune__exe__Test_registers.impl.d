@@ -1,0 +1,1 @@
+test/test_registers.ml: Alcotest Checker Client_core Control Env Histories List Protocol Quorums Registers Registry Replica Runtime Simulation Tstamp Wire

@@ -1,0 +1,1 @@
+test/test_simulation.ml: Alcotest Array Engine Heap Latency List Network Option Printf QCheck QCheck_alcotest Rng Simulation Trace

@@ -1,0 +1,1 @@
+test/test_workload.ml: Adversary Alcotest Checker Env Format Histories List Printf Protocol Registers Runtime Simulation Stats Threshold Workload

@@ -1,0 +1,249 @@
+(* Tests for the execution/history model of §2.1. *)
+
+open Histories
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let w ?(id = 0) ?(proc = 0) ~v ~inv ~resp () =
+  Op.write ~id ~proc:(Op.Writer proc) ~value:v ~inv ~resp
+
+let r ?(id = 0) ?(proc = 0) ~inv ~resp ~result () =
+  Op.read ~id ~proc:(Op.Reader proc) ~inv ~resp ~result
+
+(* ------------------------------------------------------------------ *)
+(* Op                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_precedes () =
+  let a = w ~id:0 ~v:1 ~inv:0.0 ~resp:(Some 1.0) () in
+  let b = w ~id:1 ~v:2 ~inv:2.0 ~resp:(Some 3.0) () in
+  check bool "a < b" true (Op.precedes a b);
+  check bool "not b < a" false (Op.precedes b a);
+  check bool "not concurrent" false (Op.concurrent a b)
+
+let test_concurrent_overlap () =
+  let a = w ~id:0 ~v:1 ~inv:0.0 ~resp:(Some 5.0) () in
+  let b = w ~id:1 ~v:2 ~inv:2.0 ~resp:(Some 7.0) () in
+  check bool "concurrent" true (Op.concurrent a b)
+
+let test_pending_precedes_nothing () =
+  let a = w ~id:0 ~v:1 ~inv:0.0 ~resp:None () in
+  let b = w ~id:1 ~v:2 ~inv:10.0 ~resp:(Some 11.0) () in
+  check bool "pending precedes nothing" false (Op.precedes a b);
+  check bool "b precedes pending? no" false (Op.precedes b a);
+  check bool "b started after a's inv, still concurrent" true (Op.concurrent a b)
+
+let test_touching_endpoints_not_preceding () =
+  (* O1.f = O2.s is not O1 ≺ O2 (strict inequality in the definition). *)
+  let a = w ~id:0 ~v:1 ~inv:0.0 ~resp:(Some 2.0) () in
+  let b = w ~id:1 ~v:2 ~inv:2.0 ~resp:(Some 3.0) () in
+  check bool "touching is concurrent" true (Op.concurrent a b)
+
+let test_value_of () =
+  check (Alcotest.option int) "write value" (Some 9)
+    (Op.value_of (w ~v:9 ~inv:0.0 ~resp:None ()));
+  check (Alcotest.option int) "read result" (Some 4)
+    (Op.value_of (r ~inv:0.0 ~resp:(Some 1.0) ~result:(Some 4) ()))
+
+(* ------------------------------------------------------------------ *)
+(* History                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_ops_sorts () =
+  let h =
+    History.of_ops
+      [
+        w ~id:1 ~v:2 ~inv:5.0 ~resp:(Some 6.0) ();
+        w ~id:0 ~v:1 ~inv:1.0 ~resp:(Some 2.0) ();
+      ]
+  in
+  match History.ops h with
+  | [ a; b ] ->
+    check int "first by inv" 0 a.Op.id;
+    check int "second" 1 b.Op.id
+  | _ -> Alcotest.fail "expected two ops"
+
+let test_of_ops_rejects_duplicate_ids () =
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "History.of_ops: duplicate op id 0") (fun () ->
+      ignore
+        (History.of_ops
+           [
+             w ~id:0 ~v:1 ~inv:0.0 ~resp:(Some 1.0) ();
+             w ~id:0 ~proc:1 ~v:2 ~inv:2.0 ~resp:(Some 3.0) ();
+           ]))
+
+let test_well_formed_ok () =
+  let h =
+    History.of_ops
+      [
+        w ~id:0 ~v:1 ~inv:0.0 ~resp:(Some 1.0) ();
+        w ~id:1 ~v:2 ~inv:2.0 ~resp:(Some 3.0) ();
+        r ~id:2 ~inv:4.0 ~resp:(Some 5.0) ~result:(Some 2) ();
+      ]
+  in
+  check bool "well formed" true (History.well_formed h = Ok ())
+
+let test_well_formed_catches_overlap () =
+  let h =
+    History.of_ops
+      [
+        w ~id:0 ~v:1 ~inv:0.0 ~resp:(Some 5.0) ();
+        w ~id:1 ~v:2 ~inv:2.0 ~resp:(Some 7.0) ();
+      ]
+  in
+  check bool "same-process overlap rejected" true
+    (Result.is_error (History.well_formed h))
+
+let test_well_formed_catches_role_confusion () =
+  let bad =
+    Op.read ~id:0 ~proc:(Op.Writer 0) ~inv:0.0 ~resp:(Some 1.0) ~result:(Some 0)
+  in
+  check bool "writer invoking read rejected" true
+    (Result.is_error (History.well_formed (History.of_ops [ bad ])))
+
+let test_well_formed_catches_resp_before_inv () =
+  let h = History.of_ops [ w ~id:0 ~v:1 ~inv:5.0 ~resp:(Some 1.0) () ] in
+  check bool "resp before inv rejected" true
+    (Result.is_error (History.well_formed h))
+
+let test_well_formed_catches_op_after_pending () =
+  let h =
+    History.of_ops
+      [
+        w ~id:0 ~v:1 ~inv:0.0 ~resp:None ();
+        w ~id:1 ~v:2 ~inv:5.0 ~resp:(Some 6.0) ();
+      ]
+  in
+  check bool "op after pending rejected" true
+    (Result.is_error (History.well_formed h))
+
+let test_different_procs_may_overlap () =
+  let h =
+    History.of_ops
+      [
+        w ~id:0 ~proc:0 ~v:1 ~inv:0.0 ~resp:(Some 5.0) ();
+        w ~id:1 ~proc:1 ~v:2 ~inv:2.0 ~resp:(Some 7.0) ();
+      ]
+  in
+  check bool "cross-process overlap fine" true (History.well_formed h = Ok ())
+
+let test_unique_writes () =
+  let dup =
+    History.of_ops
+      [
+        w ~id:0 ~proc:0 ~v:7 ~inv:0.0 ~resp:(Some 1.0) ();
+        w ~id:1 ~proc:1 ~v:7 ~inv:2.0 ~resp:(Some 3.0) ();
+      ]
+  in
+  check bool "duplicate values" false (History.unique_writes dup);
+  let initial =
+    History.of_ops
+      [ w ~id:0 ~v:History.initial_value ~inv:0.0 ~resp:(Some 1.0) () ]
+  in
+  check bool "initial value write rejected" false (History.unique_writes initial)
+
+let test_strip_pending_reads () =
+  let h =
+    History.of_ops
+      [
+        w ~id:0 ~v:1 ~inv:0.0 ~resp:None ();
+        r ~id:1 ~inv:0.0 ~resp:None ~result:None ();
+      ]
+  in
+  let h' = History.strip_pending_reads h in
+  check int "read dropped, write kept" 1 (History.length h');
+  check int "pending writes" 1 (List.length (History.pending_writes h'))
+
+let test_complete_writes () =
+  let h = History.of_ops [ w ~id:0 ~v:1 ~inv:0.0 ~resp:None () ] in
+  let h' = History.complete_writes h ~at:100.0 in
+  check int "no pending writes left" 0 (List.length (History.pending_writes h'))
+
+let test_max_time () =
+  let h =
+    History.of_ops
+      [
+        w ~id:0 ~v:1 ~inv:0.0 ~resp:(Some 3.0) ();
+        r ~id:1 ~inv:4.0 ~resp:None ~result:None ();
+      ]
+  in
+  check bool "max time" true (History.max_time h = 4.0)
+
+let test_procs_and_restrict () =
+  let h =
+    History.of_ops
+      [
+        w ~id:0 ~proc:0 ~v:1 ~inv:0.0 ~resp:(Some 1.0) ();
+        r ~id:1 ~proc:0 ~inv:2.0 ~resp:(Some 3.0) ~result:(Some 1) ();
+        w ~id:2 ~proc:1 ~v:2 ~inv:4.0 ~resp:(Some 5.0) ();
+      ]
+  in
+  check int "three procs" 3 (List.length (History.procs h));
+  check int "writes only" 2 (History.length (History.restrict h ~f:Op.is_write))
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_flow () =
+  let rec_ = Recorder.create () in
+  let v1 = Recorder.fresh_value rec_ in
+  let v2 = Recorder.fresh_value rec_ in
+  check bool "fresh values distinct and non-initial" true
+    (v1 <> v2 && v1 <> History.initial_value && v2 <> History.initial_value);
+  let hw = Recorder.begin_write rec_ ~proc:(Op.Writer 0) ~value:v1 ~now:0.0 in
+  Recorder.finish_write rec_ hw ~now:1.0;
+  let hr = Recorder.begin_read rec_ ~proc:(Op.Reader 0) ~now:2.0 in
+  Recorder.finish_read rec_ hr ~now:3.0 ~result:v1;
+  let hp = Recorder.begin_read rec_ ~proc:(Op.Reader 1) ~now:4.0 in
+  ignore (Recorder.handle_id hp);
+  let h = Recorder.snapshot rec_ in
+  check int "three ops" 3 (History.length h);
+  check int "two completed" 2 (Recorder.completed rec_);
+  check bool "well formed" true (History.well_formed h = Ok ());
+  check bool "unique writes" true (History.unique_writes h)
+
+let test_recorder_ids_increase () =
+  let rec_ = Recorder.create () in
+  let h1 = Recorder.begin_read rec_ ~proc:(Op.Reader 0) ~now:0.0 in
+  Recorder.finish_read rec_ h1 ~now:1.0 ~result:0;
+  let h2 = Recorder.begin_read rec_ ~proc:(Op.Reader 0) ~now:2.0 in
+  check bool "ids increase" true (Recorder.handle_id h2 > Recorder.handle_id h1)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "history"
+    [
+      ( "op",
+        [
+          tc "precedes" test_precedes;
+          tc "concurrent overlap" test_concurrent_overlap;
+          tc "pending precedes nothing" test_pending_precedes_nothing;
+          tc "touching endpoints" test_touching_endpoints_not_preceding;
+          tc "value_of" test_value_of;
+        ] );
+      ( "history",
+        [
+          tc "of_ops sorts" test_of_ops_sorts;
+          tc "duplicate ids" test_of_ops_rejects_duplicate_ids;
+          tc "well-formed ok" test_well_formed_ok;
+          tc "overlap caught" test_well_formed_catches_overlap;
+          tc "role confusion caught" test_well_formed_catches_role_confusion;
+          tc "resp<inv caught" test_well_formed_catches_resp_before_inv;
+          tc "op after pending caught" test_well_formed_catches_op_after_pending;
+          tc "cross-process overlap ok" test_different_procs_may_overlap;
+          tc "unique writes" test_unique_writes;
+          tc "strip pending reads" test_strip_pending_reads;
+          tc "complete writes" test_complete_writes;
+          tc "max time" test_max_time;
+          tc "procs and restrict" test_procs_and_restrict;
+        ] );
+      ( "recorder",
+        [
+          tc "flow" test_recorder_flow;
+          tc "ids increase" test_recorder_ids_increase;
+        ] );
+    ]

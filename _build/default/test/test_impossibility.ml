@@ -1,0 +1,368 @@
+(* Tests for the mechanized impossibility proofs: the execution model,
+   chains α and β, the zigzag links of Figs. 4–7, the Theorem 1 driver,
+   and the sieve of §4.2 / Fig. 8. *)
+
+open Impossibility
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let r1_1 = Token.r ~reader:1 ~round:1
+let r1_2 = Token.r ~reader:1 ~round:2
+let r2_1 = Token.r ~reader:2 ~round:1
+let r2_2 = Token.r ~reader:2 ~round:2
+
+(* ------------------------------------------------------------------ *)
+(* Exec_model                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_make_rejects_duplicates () =
+  check bool "duplicate token rejected" true
+    (try ignore (Exec_model.make ~label:"x" [| [ Token.w1; Token.w1 ] |]); false
+     with Invalid_argument _ -> true)
+
+let test_make_rejects_round_order () =
+  check bool "round 2 before round 1 rejected" true
+    (try ignore (Exec_model.make ~label:"x" [| [ r1_2; r1_1 ] |]); false
+     with Invalid_argument _ -> true)
+
+let test_round2_without_round1_allowed () =
+  (* Round 1 skipping a server that round 2 reaches is legal. *)
+  let e = Exec_model.make ~label:"x" [| [ Token.w1; r1_2 ] |] in
+  check int "one server" 1 (Exec_model.servers e)
+
+let test_surgery () =
+  let e = Exec_model.make ~label:"x" [| [ Token.w1; Token.w2; r1_1; r1_2 ] |] in
+  let e' = Exec_model.remove e ~server:0 r1_2 in
+  check int "removed" 3 (List.length (Exec_model.arrivals e' 0));
+  let e'' = Exec_model.insert_after e' ~server:0 ~after:r1_1 r2_2 in
+  check bool "inserted after" true
+    (Exec_model.arrivals e'' 0 = [ Token.w1; Token.w2; r1_1; r2_2 ]);
+  let e3 = Exec_model.append e' ~server:0 r2_1 in
+  check bool "appended" true
+    (Exec_model.arrivals e3 0 = [ Token.w1; Token.w2; r1_1; r2_1 ])
+
+let test_surgery_errors () =
+  let e = Exec_model.make ~label:"x" [| [ Token.w1 ] |] in
+  check bool "insert after missing anchor" true
+    (try ignore (Exec_model.insert_after e ~server:0 ~after:r1_1 r1_2); false
+     with Invalid_argument _ -> true);
+  check bool "append duplicate" true
+    (try ignore (Exec_model.append e ~server:0 Token.w1); false
+     with Invalid_argument _ -> true)
+
+let test_view_prefixes () =
+  let e =
+    Exec_model.make ~label:"x"
+      [| [ Token.w1; Token.w2; r1_1; r1_2 ]; [ Token.w2; Token.w1; r1_1; r1_2 ] |]
+  in
+  let v = Exec_model.view e ~reader:1 in
+  check int "round1 on both servers" 2 (List.length v.Exec_model.round1);
+  (match v.Exec_model.round1 with
+  | [ e0; e1 ] ->
+    check (Alcotest.list int) "s0 digits" [ 1; 2 ]
+      (Exec_model.digits_of_prefix e0.Exec_model.prefix);
+    check (Alcotest.list int) "s1 digits" [ 2; 1 ]
+      (Exec_model.digits_of_prefix e1.Exec_model.prefix)
+  | _ -> Alcotest.fail "expected two entries");
+  match v.Exec_model.round2 with
+  | [ e0; _ ] ->
+    check int "round2 prefix includes round1" 3 (List.length e0.Exec_model.prefix)
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_view_skip_absent () =
+  let e = Exec_model.make ~label:"x" [| [ Token.w1; r1_1; r1_2 ]; [ Token.w1 ] |] in
+  let v = Exec_model.view e ~reader:1 in
+  check int "only one server answered" 1 (List.length v.Exec_model.round1)
+
+let test_view_equality_is_structural () =
+  let e1 = Exec_model.make ~label:"a" [| [ Token.w1; r1_1; r1_2; r2_2 ] |] in
+  let e2 = Exec_model.make ~label:"b" [| [ Token.w1; r1_1; r1_2 ] |] in
+  (* r2_2 arrives after r1_2, so reader 1 cannot see the difference. *)
+  check bool "r1 views equal" true
+    (Exec_model.view_equal (Exec_model.view e1 ~reader:1) (Exec_model.view e2 ~reader:1));
+  let e3 = Exec_model.make ~label:"c" [| [ Token.w1; r2_2; r1_1; r1_2 ] |] in
+  check bool "r1 sees r2 ahead of it" false
+    (Exec_model.view_equal (Exec_model.view e1 ~reader:1) (Exec_model.view e3 ~reader:1))
+
+(* ------------------------------------------------------------------ *)
+(* Chain α                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_alpha_digits () =
+  let e = Chain_alpha.exec ~s:4 ~swapped:2 in
+  let digits srv =
+    Exec_model.digits_of_prefix (Exec_model.arrivals e srv)
+  in
+  check (Alcotest.list int) "swapped server" [ 2; 1 ] (digits 0);
+  check (Alcotest.list int) "swapped server" [ 2; 1 ] (digits 1);
+  check (Alcotest.list int) "unswapped" [ 1; 2 ] (digits 2);
+  check (Alcotest.list int) "unswapped" [ 1; 2 ] (digits 3)
+
+let test_alpha_critical_for_majority () =
+  (* majority-last flips when more than half the servers show "21". *)
+  match Chain_alpha.run ~s:5 Strategy.majority_last with
+  | Chain_alpha.Critical { i1; returns } ->
+    check int "critical at majority boundary" 3 i1;
+    check int "head returns 2" 2 returns.(0);
+    check int "tail returns 1" 1 returns.(5)
+  | Chain_alpha.Anchor_violation _ -> Alcotest.fail "majority-last honours anchors"
+
+let test_alpha_critical_first_server_rules () =
+  (* first-server-rules flips as soon as s0 is swapped. *)
+  match Chain_alpha.run ~s:5 Strategy.first_server_rules with
+  | Chain_alpha.Critical { i1; _ } -> check int "critical at 1" 1 i1
+  | Chain_alpha.Anchor_violation _ -> Alcotest.fail "anchors hold"
+
+let test_alpha_anchor_violation_detected () =
+  let bad = { Strategy.name = "always-1"; decide = (fun _ -> 1) } in
+  match Chain_alpha.run ~s:4 bad with
+  | Chain_alpha.Anchor_violation { expected; got; _ } ->
+    check int "expected 2" 2 expected;
+    check int "got 1" 1 got
+  | Chain_alpha.Critical _ -> Alcotest.fail "always-1 must fail the head anchor"
+
+let test_alpha_needs_three_servers () =
+  check bool "S=2 rejected" true
+    (try ignore (Chain_alpha.run ~s:2 Strategy.majority_last); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Chain β                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_beta_structure () =
+  let chain = Chain_beta.build ~s:4 ~stem_swapped:2 ~critical:1 in
+  check int "S+1 executions" 5 (Array.length chain.Chain_beta.execs);
+  let b2 = Chain_beta.exec chain 2 in
+  (* Critical server carries only R1's tokens. *)
+  check bool "critical skipped by R2" true
+    (Exec_model.arrivals b2 1 = [ Token.w2; Token.w1; r1_1; r1_2 ]);
+  (* Server 0 < swap index 2: R2(2) before R1(2). *)
+  check bool "swapped read order" true
+    (Exec_model.arrivals b2 0 = [ Token.w2; Token.w1; r1_1; r2_1; r2_2; r1_2 ]);
+  (* Server 3 >= swap index: R1(2) before R2(2). *)
+  check bool "unswapped read order" true
+    (Exec_model.arrivals b2 3 = [ Token.w1; Token.w2; r1_1; r2_1; r1_2; r2_2 ])
+
+let test_beta_r2_indistinguishability () =
+  (* The §3.3 pillar: chains from the two stems around the critical
+     server give R2 identical views. *)
+  for s = 3 to 6 do
+    for i1 = 1 to s do
+      let c' = Chain_beta.build ~s ~stem_swapped:(i1 - 1) ~critical:(i1 - 1) in
+      let c'' = Chain_beta.build ~s ~stem_swapped:i1 ~critical:(i1 - 1) in
+      check bool
+        (Printf.sprintf "R2 views agree (S=%d, i1=%d)" s i1)
+        true
+        (Chain_beta.r2_views_agree c' c'')
+    done
+  done
+
+let test_beta_r1_distinguishes_stems () =
+  (* R1 does not skip the critical server, so it CAN tell the stems
+     apart — that asymmetry is the whole point. *)
+  let c' = Chain_beta.build ~s:4 ~stem_swapped:1 ~critical:1 in
+  let c'' = Chain_beta.build ~s:4 ~stem_swapped:2 ~critical:1 in
+  let v' = Exec_model.view (Chain_beta.exec c' 0) ~reader:1 in
+  let v'' = Exec_model.view (Chain_beta.exec c'' 0) ~reader:1 in
+  check bool "R1 views differ" false (Exec_model.view_equal v' v'')
+
+(* ------------------------------------------------------------------ *)
+(* Zigzag links (Figs. 4–7)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_zigzag_links_hold_everywhere () =
+  (* Structural verification of every view equality, for all chain
+     positions and all critical-server placements. *)
+  for s = 3 to 6 do
+    for i1 = 1 to s do
+      let chain = Chain_beta.build ~s ~stem_swapped:(i1 - 1) ~critical:(i1 - 1) in
+      for k = 0 to s - 1 do
+        let step = Zigzag.build_step ~chain ~k in
+        let report = Zigzag.verify_step ~chain step in
+        check bool
+          (Printf.sprintf "links hold (S=%d, i1=%d, k=%d)" s i1 k)
+          true (Zigzag.link_ok report)
+      done
+    done
+  done
+
+let test_zigzag_special_case_no_temps () =
+  let chain = Chain_beta.build ~s:4 ~stem_swapped:2 ~critical:2 in
+  let step = Zigzag.build_step ~chain ~k:2 in
+  check bool "no temp at k = critical" true (step.Zigzag.temp_k = None);
+  check bool "gammas equal" true
+    (Exec_model.equal step.Zigzag.gamma_k step.Zigzag.gamma'_k)
+
+let test_zigzag_all_executions_order () =
+  let chain = Chain_beta.build ~s:3 ~stem_swapped:1 ~critical:1 in
+  let labels = List.map fst (Zigzag.all_executions ~chain) in
+  check bool "starts at beta_0" true (List.hd labels = "beta_0");
+  check bool "ends at beta_S" true (List.nth labels (List.length labels - 1) = "beta_3");
+  check bool "gammas present" true (List.mem "gamma_0" labels)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1 driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_theorem_convicts_natural_strategies () =
+  List.iter
+    (fun strat ->
+      List.iter
+        (fun s ->
+          let finding, stats = W1r2_theorem.run ~s strat in
+          check bool
+            (Printf.sprintf "%s convicted at S=%d" strat.Strategy.name s)
+            true
+            (W1r2_theorem.found_violation finding);
+          check int
+            (Printf.sprintf "%s: no structural link failures" strat.Strategy.name)
+            0 stats.W1r2_theorem.links_failed)
+        [ 3; 4; 5; 6 ])
+    Strategy.natural
+
+let test_theorem_convicts_constant_strategies () =
+  List.iter
+    (fun d ->
+      let strat = { Strategy.name = "const"; decide = (fun _ -> d) } in
+      let finding, _ = W1r2_theorem.run ~s:4 strat in
+      match finding with
+      | W1r2_theorem.Anchor_violation _ -> ()
+      | _ -> Alcotest.fail "constant strategies must die on an anchor")
+    [ 1; 2 ]
+
+let test_theorem_disagreement_is_concrete () =
+  let finding, stats = W1r2_theorem.run ~s:4 Strategy.majority_last in
+  (match finding with
+  | W1r2_theorem.Read_disagreement { exec; r1; r2; _ } ->
+    check bool "different returns" true (r1 <> r2);
+    (* The witness execution is structurally valid: both writes appear
+       on every server, read tokens never before writes. *)
+    for srv = 0 to Exec_model.servers exec - 1 do
+      let digits = Exec_model.digits_of_prefix (Exec_model.arrivals exec srv) in
+      check int "both writes present" 2 (List.length digits)
+    done
+  | other ->
+    Alcotest.failf "expected a read disagreement, got %s"
+      (Format.asprintf "%a" W1r2_theorem.pp_finding other));
+  check bool "critical server recorded" true (stats.W1r2_theorem.i1 <> None)
+
+let seeded_strategy_conviction =
+  QCheck.Test.make ~name:"theorem convicts every seeded strategy" ~count:150
+    QCheck.(pair (int_range 0 100000) (int_range 3 7))
+    (fun (seed, s) ->
+      let finding, stats = W1r2_theorem.run ~s (Strategy.seeded seed) in
+      W1r2_theorem.found_violation finding && stats.W1r2_theorem.links_failed = 0)
+
+let wild_strategy_conviction =
+  QCheck.Test.make ~name:"theorem convicts every wild strategy" ~count:150
+    QCheck.(pair (int_range 0 100000) (int_range 3 7))
+    (fun (seed, s) ->
+      let finding, _ = W1r2_theorem.run ~s (Strategy.seeded_wild seed) in
+      W1r2_theorem.found_violation finding)
+
+(* ------------------------------------------------------------------ *)
+(* Sieve (§4.2 / Fig. 8)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sieve_honest_effect () =
+  match Sieve.run ~s:5 ~effect:Sieve.honest (Sieve.crucial_of_last_digits ()) with
+  | Sieve.Critical { sigma1; sigma2; i1; _ } ->
+    check int "no affected servers" 0 (List.length sigma1);
+    check int "all unaffected" 5 (List.length sigma2);
+    check bool "critical found" true (i1 >= 1 && i1 <= 5)
+  | _ -> Alcotest.fail "honest effect must yield a critical server"
+
+let test_sieve_flipping_effect () =
+  match
+    Sieve.run ~s:6 ~effect:(Sieve.flip_servers [ 0; 3 ])
+      (Sieve.crucial_of_last_digits ())
+  with
+  | Sieve.Critical { sigma1; sigma2; i1; returns } ->
+    check (Alcotest.list int) "sigma1" [ 0; 3 ] sigma1;
+    check (Alcotest.list int) "sigma2" [ 1; 2; 4; 5 ] sigma2;
+    check bool "critical inside shortened chain" true (i1 >= 1 && i1 <= 4);
+    check int "chain shortened to |sigma2|+1" 5 (Array.length returns)
+  | _ -> Alcotest.fail "flipping effect must still yield a critical server"
+
+let test_sieve_too_few_unaffected () =
+  match
+    Sieve.run ~s:4 ~effect:(Sieve.flip_servers [ 0; 1 ])
+      (Sieve.crucial_of_last_digits ())
+  with
+  | Sieve.Too_few_unaffected { sigma2; _ } ->
+    check int "only 2 unaffected" 2 (List.length sigma2)
+  | _ -> Alcotest.fail "expected too-few-unaffected"
+
+let test_sieve_majority_strategy () =
+  match Sieve.run ~s:7 ~effect:(Sieve.flip_servers [ 6 ]) Sieve.crucial_majority with
+  | Sieve.Critical { i1; _ } -> check bool "critical found" true (i1 >= 1)
+  | _ -> Alcotest.fail "majority crucial strategy should survive anchors"
+
+let sieve_random_effects =
+  QCheck.Test.make ~name:"sieve handles random effects" ~count:200
+    QCheck.(pair (int_range 0 10000) (int_range 5 10))
+    (fun (seed, s) ->
+      let effect = Sieve.seeded_effect ~seed ~flip_probability_pct:30 in
+      match Sieve.run ~s ~effect (Sieve.crucial_of_last_digits ()) with
+      | Sieve.Critical { sigma1; sigma2; i1; _ } ->
+        List.length sigma1 + List.length sigma2 = s
+        && i1 >= 1
+        && i1 <= List.length sigma2
+      | Sieve.Too_few_unaffected { sigma2; _ } -> List.length sigma2 < 3
+      | Sieve.Anchor_violation _ -> false)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "impossibility"
+    [
+      ( "exec-model",
+        [
+          tc "duplicate tokens rejected" test_make_rejects_duplicates;
+          tc "round order enforced" test_make_rejects_round_order;
+          tc "round2 without round1 ok" test_round2_without_round1_allowed;
+          tc "surgery" test_surgery;
+          tc "surgery errors" test_surgery_errors;
+          tc "view prefixes" test_view_prefixes;
+          tc "view skips" test_view_skip_absent;
+          tc "view equality" test_view_equality_is_structural;
+        ] );
+      ( "chain-alpha",
+        [
+          tc "digits layout" test_alpha_digits;
+          tc "critical (majority)" test_alpha_critical_for_majority;
+          tc "critical (first server)" test_alpha_critical_first_server_rules;
+          tc "anchor violation" test_alpha_anchor_violation_detected;
+          tc "needs S>=3" test_alpha_needs_three_servers;
+        ] );
+      ( "chain-beta",
+        [
+          tc "structure" test_beta_structure;
+          tc "R2 indistinguishability" test_beta_r2_indistinguishability;
+          tc "R1 distinguishes stems" test_beta_r1_distinguishes_stems;
+        ] );
+      ( "zigzag",
+        [
+          tc "links hold everywhere (Figs 4-7)" test_zigzag_links_hold_everywhere;
+          tc "k = critical special case" test_zigzag_special_case_no_temps;
+          tc "chain Z order" test_zigzag_all_executions_order;
+        ] );
+      ( "theorem",
+        [
+          tc "natural strategies convicted" test_theorem_convicts_natural_strategies;
+          tc "constant strategies die on anchors" test_theorem_convicts_constant_strategies;
+          tc "disagreement witness concrete" test_theorem_disagreement_is_concrete;
+          QCheck_alcotest.to_alcotest seeded_strategy_conviction;
+          QCheck_alcotest.to_alcotest wild_strategy_conviction;
+        ] );
+      ( "sieve",
+        [
+          tc "honest effect" test_sieve_honest_effect;
+          tc "flipping effect" test_sieve_flipping_effect;
+          tc "too few unaffected" test_sieve_too_few_unaffected;
+          tc "majority strategy" test_sieve_majority_strategy;
+          QCheck_alcotest.to_alcotest sieve_random_effects;
+        ] );
+    ]

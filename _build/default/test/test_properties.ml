@@ -1,0 +1,219 @@
+(* Cross-cutting property tests: randomized workloads, fault injection,
+   and determinism, across all protocols.  These are the "is the whole
+   stack sound" tests — every run of a provably-correct protocol, under
+   any within-model schedule, must be wait-free, atomic, and satisfy
+   MWA0–MWA4. *)
+
+open Protocol
+open Workload
+
+(* ------------------------------------------------------------------ *)
+(* Random workload generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  seed : int;
+  s : int;
+  t : int;
+  w : int;
+  r : int;
+  latency_kind : int;
+  crash : bool;
+  skips : bool;
+}
+
+let scenario_gen ~multi_writer =
+  let open QCheck.Gen in
+  let* seed = int_range 0 1_000_000 in
+  let* s = int_range 3 8 in
+  let* t = int_range 1 ((s - 1) / 2) in
+  let* w = if multi_writer then int_range 2 3 else return 1 in
+  (* Stay in the fast-read-safe regime so every protocol must be atomic:
+     R <= max(1, threshold). *)
+  let max_r = max 1 (Quorums.Bounds.fast_read_threshold ~s ~t) in
+  let* r = int_range 1 (min 3 max_r) in
+  let* latency_kind = int_range 0 2 in
+  let* crash = bool in
+  let* skips = bool in
+  return { seed; s; t; w; r; latency_kind; crash; skips }
+
+let print_scenario sc =
+  Printf.sprintf "{seed=%d S=%d t=%d W=%d R=%d lat=%d crash=%b skips=%b}" sc.seed
+    sc.s sc.t sc.w sc.r sc.latency_kind sc.crash sc.skips
+
+let latency_of = function
+  | 0 -> Simulation.Latency.constant 2.0
+  | 1 -> Simulation.Latency.uniform ~lo:1.0 ~hi:10.0
+  | _ -> Simulation.Latency.exponential ~mean:4.0
+
+let plans_for sc =
+  let writers =
+    List.init sc.w (fun i ->
+        Runtime.write_plan ~writer:i
+          ~start_at:(float_of_int (i * 3))
+          ~think:(10.0 +. float_of_int (7 * i))
+          3)
+  in
+  let readers =
+    List.init sc.r (fun i ->
+        Runtime.read_plan ~reader:i
+          ~start_at:(1.0 +. float_of_int i)
+          ~think:(8.0 +. float_of_int (5 * i))
+          5)
+  in
+  writers @ readers
+
+let adversary_for sc =
+  let topology = Topology.make ~servers:sc.s ~writers:sc.w ~readers:sc.r in
+  Adversary.compose
+    ((if sc.crash then [ Adversary.crash_random ~seed:sc.seed ~t:sc.t ~at:20.0 ~s:sc.s ] else [])
+    @
+    if sc.skips then
+      [ Adversary.random_skips ~seed:sc.seed ~topology ~t_budget:sc.t ~window:30.0 ]
+    else [])
+
+let run_scenario register sc =
+  let env = Env.make ~seed:sc.seed ~latency:(latency_of sc.latency_kind) ~s:sc.s ~t:sc.t ~w:sc.w ~r:sc.r () in
+  Runtime.run ~register ~env ~plans:(plans_for sc)
+    ~adversary:(Adversary.apply (adversary_for sc)) ()
+
+(* Crashing t servers *and* skipping t more can exceed the fault budget
+   (a round-trip may wait on a held message to a crashed-adjacent
+   quorum).  The runtime releases held messages at the end, so ops
+   complete eventually; wait-freedom within the run is only asserted
+   when at most one mechanism is active. *)
+let correctness_property register =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: random schedules stay atomic" (Registers.Registry.name register))
+    ~count:120
+    (QCheck.make ~print:print_scenario
+       (scenario_gen
+          ~multi_writer:
+            (List.exists
+               (fun p -> Registers.Registry.name p = Registers.Registry.name register)
+               Registers.Registry.multi_writer)))
+    (fun sc ->
+      QCheck.assume (not (sc.crash && sc.skips));
+      let out = run_scenario register sc in
+      let h = out.Runtime.history in
+      Histories.History.well_formed h = Ok ()
+      && List.for_all Histories.Op.is_complete (Histories.History.ops h)
+      && Checker.Atomicity.is_atomic h
+      && Checker.Mw_properties.check_ok out.Runtime.tagged = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let history_fingerprint h =
+  Hashtbl.hash
+    (List.map
+       (fun (o : Histories.Op.t) ->
+         (o.Histories.Op.id, o.Histories.Op.proc, o.Histories.Op.kind,
+          o.Histories.Op.inv, o.Histories.Op.resp, o.Histories.Op.result))
+       (Histories.History.ops h))
+
+let determinism_property register =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: same seed, same history" (Registers.Registry.name register))
+    ~count:40
+    (QCheck.make ~print:print_scenario (scenario_gen ~multi_writer:true))
+    (fun sc ->
+      let out1 = run_scenario register sc in
+      let out2 = run_scenario register sc in
+      history_fingerprint out1.Runtime.history
+      = history_fingerprint out2.Runtime.history)
+
+let seed_sensitivity =
+  QCheck.Test.make ~name:"different seeds usually differ" ~count:20
+    (QCheck.make ~print:print_scenario (scenario_gen ~multi_writer:true))
+    (fun sc ->
+      QCheck.assume (sc.latency_kind > 0);
+      let out1 = run_scenario Registers.Registry.abd_mwmr sc in
+      let out2 = run_scenario Registers.Registry.abd_mwmr { sc with seed = sc.seed + 1 } in
+      (* Timing fingerprints should differ under random latency. *)
+      history_fingerprint out1.Runtime.history
+      <> history_fingerprint out2.Runtime.history)
+
+(* ------------------------------------------------------------------ *)
+(* Degraded modes: what the naive protocols still guarantee             *)
+(* ------------------------------------------------------------------ *)
+
+(* Even the doomed candidates never fabricate values: every read returns
+   the initial value or something some write stored. *)
+let naive_never_fabricates =
+  QCheck.Test.make ~name:"naive protocols never return unwritten values"
+    ~count:60
+    (QCheck.make ~print:print_scenario (scenario_gen ~multi_writer:true))
+    (fun sc ->
+      List.for_all
+        (fun register ->
+          let out = run_scenario register sc in
+          match Checker.Atomicity.check out.Runtime.history with
+          | Ok () -> true
+          | Error w -> Checker.Witness.short w <> "unwritten-value")
+        [ Registers.Registry.naive_w1r2; Registers.Registry.naive_w1r1 ])
+
+(* With a single writer the naive fast write *is* ABD'95's fast write:
+   Theorem 1's W >= 2 hypothesis is tight. *)
+let naive_single_writer_atomic =
+  QCheck.Test.make ~name:"naive fast-write is atomic with a single writer"
+    ~count:60
+    (QCheck.make ~print:print_scenario (scenario_gen ~multi_writer:false))
+    (fun sc ->
+      QCheck.assume (not (sc.crash && sc.skips));
+      let out = run_scenario Registers.Registry.naive_w1r2 { sc with w = 1 } in
+      Checker.Atomicity.is_atomic out.Runtime.history)
+
+(* The adaptive register is atomic even beyond the fast-read threshold. *)
+let adaptive_atomic_any_r =
+  QCheck.Test.make ~name:"adaptive register atomic at any reader count"
+    ~count:60
+    (QCheck.make ~print:print_scenario (scenario_gen ~multi_writer:true))
+    (fun sc ->
+      QCheck.assume (not (sc.crash && sc.skips));
+      let sc = { sc with r = min 5 (sc.r + 3) } (* push past thresholds *) in
+      let out = run_scenario Registers.Registry.adaptive sc in
+      Checker.Atomicity.is_atomic out.Runtime.history
+      && Checker.Mw_properties.check_ok out.Runtime.tagged = Ok ())
+
+(* Wait-freedom under crash-only faults, all protocols. *)
+let wait_freedom_under_crash =
+  QCheck.Test.make ~name:"wait-free under <= t crashes" ~count:80
+    (QCheck.make ~print:print_scenario (scenario_gen ~multi_writer:true))
+    (fun sc ->
+      let sc = { sc with crash = true; skips = false } in
+      List.for_all
+        (fun register ->
+          let out = run_scenario register sc in
+          List.for_all Histories.Op.is_complete
+            (Histories.History.ops out.Runtime.history))
+        Registers.Registry.multi_writer)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "correctness",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            correctness_property Registers.Registry.abd_mwmr;
+            correctness_property Registers.Registry.fastread_w2r1;
+            correctness_property Registers.Registry.abd_swmr;
+            correctness_property Registers.Registry.dglv_w1r1;
+          ] );
+      ( "determinism",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            determinism_property Registers.Registry.abd_mwmr;
+            determinism_property Registers.Registry.fastread_w2r1;
+            seed_sensitivity;
+          ] );
+      ( "degraded-modes",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            naive_never_fabricates;
+            naive_single_writer_atomic;
+            adaptive_atomic_any_r;
+            wait_freedom_under_crash;
+          ] );
+    ]

@@ -1,0 +1,223 @@
+(* Tests for quorum systems and the Table 1 possibility predicates. *)
+
+open Quorums
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let test_threshold_basics () =
+  let q = Quorum.threshold ~servers:5 ~quorum_size:4 in
+  check int "servers" 5 (Quorum.servers q);
+  check int "size" 4 (Quorum.quorum_size q);
+  check bool "is quorum" true (Quorum.is_quorum q [ 0; 1; 2; 3 ]);
+  check bool "too small" false (Quorum.is_quorum q [ 0; 1; 2 ]);
+  check bool "duplicates don't count" false (Quorum.is_quorum q [ 0; 0; 1; 2 ]);
+  check bool "out of range" false (Quorum.is_quorum q [ 0; 1; 2; 9 ])
+
+let test_threshold_validation () =
+  check bool "bad size raises" true
+    (try ignore (Quorum.threshold ~servers:3 ~quorum_size:0); false
+     with Invalid_argument _ -> true);
+  check bool "oversize raises" true
+    (try ignore (Quorum.threshold ~servers:3 ~quorum_size:4); false
+     with Invalid_argument _ -> true)
+
+let test_majority () =
+  check int "5 -> 3" 3 (Quorum.quorum_size (Quorum.majority ~servers:5));
+  check int "6 -> 4" 4 (Quorum.quorum_size (Quorum.majority ~servers:6));
+  check bool "majorities intersect" true
+    (Quorum.always_intersecting (Quorum.majority ~servers:7))
+
+let test_crash_tolerant () =
+  let q = Quorum.crash_tolerant ~servers:5 ~t:2 in
+  check int "S - t" 3 (Quorum.quorum_size q);
+  check int "tolerates" 2 (Quorum.tolerates q);
+  check bool "available under t crashes" true (Quorum.available_under q ~crashed:2);
+  check bool "unavailable beyond" false (Quorum.available_under q ~crashed:3)
+
+let test_intersection () =
+  (* S - t quorums intersect iff 2t < S: the ABD condition. *)
+  let good = Quorum.crash_tolerant ~servers:5 ~t:2 in
+  check bool "t < S/2 intersects" true (Quorum.always_intersecting good);
+  check int "overlap at least" 1 (Quorum.intersection_at_least good);
+  let bad = Quorum.crash_tolerant ~servers:4 ~t:2 in
+  check bool "t >= S/2 does not" false (Quorum.always_intersecting bad)
+
+(* ------------------------------------------------------------------ *)
+(* Coteries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_coterie_majority () =
+  let c = Coterie.majority ~universe:5 in
+  check bool "intersecting" true (Coterie.pairwise_intersecting c);
+  check bool "minimal" true (Coterie.is_minimal c);
+  check int "quorum size" 3 (Coterie.min_quorum_size c);
+  check int "tolerates" 2 (Coterie.crash_tolerance c);
+  check bool "is_quorum" true (Coterie.is_quorum c [ 0; 2; 4 ]);
+  check bool "too small" false (Coterie.is_quorum c [ 0; 2 ])
+
+let test_coterie_grid () =
+  let c = Coterie.grid ~rows:3 ~cols:3 in
+  check bool "intersecting" true (Coterie.pairwise_intersecting c);
+  (* Row 0 + column 0 = {0,1,2,3,6}. *)
+  check bool "row+col is a quorum" true (Coterie.is_quorum c [ 0; 1; 2; 3; 6 ]);
+  check bool "a bare row is not" false (Coterie.is_quorum c [ 0; 1; 2 ]);
+  check int "quorum size 2*3-1" 5 (Coterie.min_quorum_size c);
+  (* Killing a full row kills every quorum: tolerance < rows. *)
+  check bool "row crash fatal" false (Coterie.available_under c ~crashed:[ 0; 1; 2 ]);
+  check bool "scattered crashes survivable" true
+    (Coterie.available_under c ~crashed:[ 0; 4 ])
+
+let test_coterie_grid_vs_majority_size () =
+  (* The point of grids: o(n) quorums. *)
+  let g = Coterie.grid ~rows:4 ~cols:4 in
+  let m = Coterie.majority ~universe:16 in
+  check bool "grid quorums smaller" true
+    (Coterie.min_quorum_size g < Coterie.min_quorum_size m)
+
+let test_coterie_validation () =
+  check bool "empty family" true
+    (try ignore (Coterie.of_lists ~universe:3 []); false
+     with Invalid_argument _ -> true);
+  check bool "out of range" true
+    (try ignore (Coterie.of_lists ~universe:3 [ [ 5 ] ]); false
+     with Invalid_argument _ -> true);
+  check bool "non-intersecting detectable" false
+    (Coterie.pairwise_intersecting (Coterie.of_lists ~universe:4 [ [ 0; 1 ]; [ 2; 3 ] ]))
+
+let test_coterie_threshold_matches_quorum () =
+  let c = Coterie.threshold ~universe:5 ~size:4 in
+  let q = Quorum.crash_tolerant ~servers:5 ~t:1 in
+  check bool "same tolerance" true (Coterie.crash_tolerance c = Quorum.tolerates q);
+  check bool "same min size" true (Coterie.min_quorum_size c = Quorum.quorum_size q)
+
+let coterie_intersection_property =
+  QCheck.Test.make ~name:"threshold coteries intersect iff 2*size > n" ~count:200
+    QCheck.(pair (int_range 2 7) (int_range 1 7))
+    (fun (n, size) ->
+      QCheck.assume (size <= n);
+      Coterie.pairwise_intersecting (Coterie.threshold ~universe:n ~size)
+      = (2 * size > n))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 predicates                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_w2r2_row () =
+  (* Possible iff t < S/2. *)
+  check bool "S=5 t=2" true (Bounds.w2r2_possible ~s:5 ~t:2);
+  check bool "S=4 t=2" false (Bounds.w2r2_possible ~s:4 ~t:2);
+  check bool "S=2 t=1" false (Bounds.w2r2_possible ~s:2 ~t:1);
+  check bool "S=3 t=1" true (Bounds.w2r2_possible ~s:3 ~t:1)
+
+let test_w1r2_row () =
+  (* This paper: impossible for W >= 2, R >= 2, t >= 1. *)
+  check bool "multi-writer impossible" false
+    (Bounds.w1r2_possible ~s:10 ~t:1 ~w:2 ~r:2);
+  check bool "even with many servers" false
+    (Bounds.w1r2_possible ~s:100 ~t:1 ~w:3 ~r:2);
+  (* Boundary cases where it IS possible: *)
+  check bool "single writer (ABD'95)" true (Bounds.w1r2_possible ~s:5 ~t:2 ~w:1 ~r:9);
+  check bool "t=0 trivial" true (Bounds.w1r2_possible ~s:3 ~t:0 ~w:5 ~r:5)
+
+let test_w2r1_row () =
+  (* Possible iff R < S/t - 2. *)
+  check bool "S=6 t=1 R=3" true (Bounds.w2r1_possible ~s:6 ~t:1 ~r:3);
+  check bool "S=6 t=1 R=4" false (Bounds.w2r1_possible ~s:6 ~t:1 ~r:4);
+  check bool "S=8 t=2 R=1" true (Bounds.w2r1_possible ~s:8 ~t:2 ~r:1);
+  check bool "S=8 t=2 R=2" false (Bounds.w2r1_possible ~s:8 ~t:2 ~r:2);
+  check bool "S=9 t=2 R=2" true (Bounds.w2r1_possible ~s:9 ~t:2 ~r:2);
+  check bool "t=0 trivial" true (Bounds.w2r1_possible ~s:4 ~t:0 ~r:50)
+
+let test_w1r1_row () =
+  check bool "multi-writer impossible" false
+    (Bounds.w1r1_possible ~s:20 ~t:1 ~w:2 ~r:2);
+  check bool "single-writer DGLV regime" true
+    (Bounds.w1r1_possible ~s:6 ~t:1 ~w:1 ~r:3);
+  check bool "single-writer beyond threshold" false
+    (Bounds.w1r1_possible ~s:6 ~t:1 ~w:1 ~r:4)
+
+let test_fast_read_threshold () =
+  check int "S=6 t=1 -> R<=3" 3 (Bounds.fast_read_threshold ~s:6 ~t:1);
+  check int "S=9 t=2 -> R<=2" 2 (Bounds.fast_read_threshold ~s:9 ~t:2);
+  check int "S=8 t=2 -> R<=1" 1 (Bounds.fast_read_threshold ~s:8 ~t:2);
+  check int "S=4 t=1 -> R<=1" 1 (Bounds.fast_read_threshold ~s:4 ~t:1);
+  check bool "t=0 unbounded" true (Bounds.fast_read_threshold ~s:4 ~t:0 > 1000)
+
+let threshold_consistency =
+  QCheck.Test.make ~name:"fast_read_threshold matches w2r1_possible" ~count:500
+    QCheck.(pair (int_range 3 30) (int_range 1 5))
+    (fun (s, t) ->
+      QCheck.assume (t < s);
+      let thr = Bounds.fast_read_threshold ~s ~t in
+      let w2r2 = Bounds.w2r2_possible ~s ~t in
+      List.for_all
+        (fun r -> Bounds.w2r1_possible ~s ~t ~r = (r <= thr && w2r2))
+        (List.init 10 (fun i -> i + 1)))
+
+let test_rounds_and_rank () =
+  check int "W2R2 writes" 2 (Bounds.write_rounds Bounds.W2R2);
+  check int "W1R2 writes" 1 (Bounds.write_rounds Bounds.W1R2);
+  check int "W2R1 reads" 1 (Bounds.read_rounds Bounds.W2R1);
+  check int "W1R1 total" 2 (Bounds.latency_rank Bounds.W1R1);
+  check int "W2R2 total" 4 (Bounds.latency_rank Bounds.W2R2);
+  check bool "lattice ordering" true
+    (Bounds.latency_rank Bounds.W1R1 < Bounds.latency_rank Bounds.W1R2
+    && Bounds.latency_rank Bounds.W1R2 < Bounds.latency_rank Bounds.W2R2)
+
+let test_dispatch () =
+  List.iter
+    (fun p ->
+      check bool
+        (Bounds.design_point_to_string p ^ " dispatch consistent")
+        (Bounds.possible p ~s:6 ~t:1 ~w:2 ~r:2)
+        (match p with
+        | Bounds.W2R2 -> Bounds.w2r2_possible ~s:6 ~t:1
+        | Bounds.W1R2 -> Bounds.w1r2_possible ~s:6 ~t:1 ~w:2 ~r:2
+        | Bounds.W2R1 -> Bounds.w2r1_possible ~s:6 ~t:1 ~r:2
+        | Bounds.W1R1 -> Bounds.w1r1_possible ~s:6 ~t:1 ~w:2 ~r:2))
+    Bounds.all_design_points
+
+let test_validation () =
+  check bool "s<2 raises" true
+    (try ignore (Bounds.w2r2_possible ~s:1 ~t:0); false
+     with Invalid_argument _ -> true);
+  check bool "t>=s raises" true
+    (try ignore (Bounds.w2r1_possible ~s:3 ~t:3 ~r:1); false
+     with Invalid_argument _ -> true)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "quorum"
+    [
+      ( "quorum-systems",
+        [
+          tc "threshold basics" test_threshold_basics;
+          tc "validation" test_threshold_validation;
+          tc "majority" test_majority;
+          tc "crash tolerant" test_crash_tolerant;
+          tc "intersection" test_intersection;
+        ] );
+      ( "coteries",
+        [
+          tc "majority" test_coterie_majority;
+          tc "grid" test_coterie_grid;
+          tc "grid vs majority size" test_coterie_grid_vs_majority_size;
+          tc "validation" test_coterie_validation;
+          tc "threshold matches Quorum" test_coterie_threshold_matches_quorum;
+          QCheck_alcotest.to_alcotest coterie_intersection_property;
+        ] );
+      ( "table1",
+        [
+          tc "W2R2 row" test_w2r2_row;
+          tc "W1R2 row" test_w1r2_row;
+          tc "W2R1 row" test_w2r1_row;
+          tc "W1R1 row" test_w1r1_row;
+          tc "fast-read threshold" test_fast_read_threshold;
+          QCheck_alcotest.to_alcotest threshold_consistency;
+          tc "rounds and rank" test_rounds_and_rank;
+          tc "dispatch" test_dispatch;
+          tc "validation" test_validation;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+(* Tests for statistics, adversaries, and the fast-read threshold
+   experiment (Fig. 9). *)
+
+open Protocol
+open Workload
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_empty () =
+  let s = Stats.of_latencies [] in
+  check int "count" 0 s.Stats.count
+
+let test_stats_percentiles () =
+  let s = Stats.of_latencies (List.init 100 (fun i -> float_of_int (i + 1))) in
+  check int "count" 100 s.Stats.count;
+  check bool "mean" true (abs_float (s.Stats.mean -. 50.5) < 0.01);
+  check bool "p50" true (s.Stats.p50 = 50.0);
+  check bool "p95" true (s.Stats.p95 = 95.0);
+  check bool "p99" true (s.Stats.p99 = 99.0);
+  check bool "min/max" true (s.Stats.min = 1.0 && s.Stats.max = 100.0)
+
+let test_stats_singleton () =
+  let s = Stats.of_latencies [ 7.0 ] in
+  check bool "all seven" true
+    (s.Stats.mean = 7.0 && s.Stats.p50 = 7.0 && s.Stats.p99 = 7.0)
+
+let test_stats_from_history () =
+  let env = Env.make ~seed:1 ~latency:(Simulation.Latency.constant 2.0) ~s:3 ~t:1 ~w:1 ~r:1 () in
+  let plans =
+    [ Runtime.write_plan ~writer:0 ~think:50.0 3;
+      Runtime.read_plan ~reader:0 ~start_at:200.0 ~think:50.0 3 ]
+  in
+  let out = Runtime.run ~register:Registers.Registry.abd_mwmr ~env ~plans () in
+  let writes = Stats.writes out.Runtime.history in
+  let reads = Stats.reads out.Runtime.history in
+  check int "3 writes" 3 writes.Stats.count;
+  check int "3 reads" 3 reads.Stats.count;
+  (* Constant latency 2.0: every two-round op takes exactly 8. *)
+  check bool "write latency = 2 RTTs" true (abs_float (writes.Stats.mean -. 8.0) < 0.001);
+  check bool "read latency = 2 RTTs" true (abs_float (reads.Stats.mean -. 8.0) < 0.001)
+
+let test_one_round_latency_halved () =
+  (* The paper's motivation measured: fast reads take one RTT. *)
+  let env = Env.make ~seed:1 ~latency:(Simulation.Latency.constant 2.0) ~s:6 ~t:1 ~w:1 ~r:1 () in
+  let plans =
+    [ Runtime.write_plan ~writer:0 1;
+      Runtime.read_plan ~reader:0 ~start_at:100.0 ~think:10.0 4 ]
+  in
+  let out = Runtime.run ~register:Registers.Registry.fastread_w2r1 ~env ~plans () in
+  let reads = Stats.reads out.Runtime.history in
+  check bool "fast read = 1 RTT" true (abs_float (reads.Stats.mean -. 4.0) < 0.001)
+
+(* ------------------------------------------------------------------ *)
+(* Adversaries                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_with ?(s = 5) ?(t = 1) ?(w = 2) ?(r = 2) ?(seed = 3) adversary plans =
+  let env = Env.make ~seed ~s ~t ~w ~r () in
+  Runtime.run ~register:Registers.Registry.abd_mwmr ~env ~plans
+    ~adversary:(Adversary.apply adversary) ()
+
+let standard_plans =
+  [ Runtime.write_plan ~writer:0 ~think:10.0 4;
+    Runtime.write_plan ~writer:1 ~start_at:2.0 ~think:12.0 4;
+    Runtime.read_plan ~reader:0 ~start_at:1.0 ~think:8.0 6;
+    Runtime.read_plan ~reader:1 ~start_at:3.0 ~think:9.0 6 ]
+
+let all_complete out =
+  List.for_all Histories.Op.is_complete (Histories.History.ops out.Runtime.history)
+
+let test_adversary_none () =
+  let out = run_with Adversary.none standard_plans in
+  check bool "completes" true (all_complete out);
+  check bool "atomic" true (Checker.Atomicity.is_atomic out.Runtime.history)
+
+let test_adversary_crash_within_budget () =
+  let out = run_with (Adversary.crash_at [ (5.0, 0) ]) standard_plans in
+  check bool "wait-free despite crash" true (all_complete out);
+  check bool "atomic" true (Checker.Atomicity.is_atomic out.Runtime.history)
+
+let test_adversary_crash_random () =
+  let out = run_with (Adversary.crash_random ~seed:9 ~t:1 ~at:5.0 ~s:5) standard_plans in
+  check bool "wait-free" true (all_complete out)
+
+let test_adversary_compose () =
+  let adv =
+    Adversary.compose
+      [ Adversary.crash_at [ (5.0, 0) ];
+        Adversary.delay_route ~delay:30.0 ~src:5 ~dst:1 ]
+  in
+  let out = run_with adv standard_plans in
+  check bool "composed adversary survivable" true (all_complete out);
+  check bool "still atomic" true (Checker.Atomicity.is_atomic out.Runtime.history)
+
+let test_adversary_hold_route () =
+  (* Holding one client->server link is within the t=1 budget. *)
+  let out = run_with (Adversary.hold_route ~src:5 ~dst:0 ()) standard_plans in
+  check bool "completes" true (all_complete out);
+  check bool "atomic" true (Checker.Atomicity.is_atomic out.Runtime.history)
+
+let test_random_skips_safe () =
+  (* Random within-budget skips never break a correct protocol. *)
+  let topology = Protocol.Topology.make ~servers:5 ~writers:2 ~readers:2 in
+  for seed = 1 to 8 do
+    let adv = Adversary.random_skips ~seed ~topology ~t_budget:1 ~window:25.0 in
+    let out = run_with ~seed adv standard_plans in
+    check bool (Printf.sprintf "wait-free (seed %d)" seed) true (all_complete out);
+    check bool (Printf.sprintf "atomic (seed %d)" seed) true
+      (Checker.Atomicity.is_atomic out.Runtime.history)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Threshold (Fig. 9)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_threshold_boundary_s6_t1 () =
+  (* S=6, t=1: fast reads possible iff R < 4. *)
+  List.iter
+    (fun v ->
+      check bool (Format.asprintf "%a" Threshold.pp_verdict v) true
+        (Threshold.boundary_matches v))
+    (Threshold.sweep ~register:Registers.Registry.fastread_w2r1 ~s:6 ~t:1 ~r_max:7)
+
+let test_threshold_boundary_t2 () =
+  List.iter
+    (fun (s, t) ->
+      List.iter
+        (fun v ->
+          check bool (Format.asprintf "%a" Threshold.pp_verdict v) true
+            (Threshold.boundary_matches v))
+        (Threshold.sweep ~register:Registers.Registry.fastread_w2r1 ~s ~t ~r_max:5))
+    [ (8, 2); (9, 2); (12, 3) ]
+
+let test_threshold_violation_is_new_old_inversion () =
+  let v = Threshold.attack ~register:Registers.Registry.fastread_w2r1 ~s:6 ~t:1 ~r:4 in
+  check bool "violated" false v.Threshold.atomic;
+  check bool "MWA4 named" true (v.Threshold.mwa_failure = Some "MWA4")
+
+let test_threshold_write_rounds_irrelevant () =
+  (* §5.1: the fast-read bound is independent of the write's round count —
+     the three-round-write register has exactly the same boundary. *)
+  List.iter
+    (fun v ->
+      check bool (Format.asprintf "W3R1 %a" Threshold.pp_verdict v) true
+        (Threshold.boundary_matches v))
+    (Threshold.sweep ~register:Registers.Registry.slow_write_w3r1 ~s:6 ~t:1
+       ~r_max:6)
+
+let test_threshold_slow_read_immune () =
+  (* The same adversary cannot break the W2R2 register at any R: its
+     two-round read writes back before returning. *)
+  List.iter
+    (fun v ->
+      check bool
+        (Format.asprintf "LS97 immune: %a" Threshold.pp_verdict v)
+        true v.Threshold.atomic)
+    (Threshold.sweep ~register:Registers.Registry.abd_mwmr ~s:6 ~t:1 ~r_max:7)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "workload"
+    [
+      ( "stats",
+        [
+          tc "empty" test_stats_empty;
+          tc "percentiles" test_stats_percentiles;
+          tc "singleton" test_stats_singleton;
+          tc "from history" test_stats_from_history;
+          tc "fast read is one RTT" test_one_round_latency_halved;
+        ] );
+      ( "adversary",
+        [
+          tc "none" test_adversary_none;
+          tc "crash within budget" test_adversary_crash_within_budget;
+          tc "crash random" test_adversary_crash_random;
+          tc "compose" test_adversary_compose;
+          tc "hold route" test_adversary_hold_route;
+          tc "random skips safe" test_random_skips_safe;
+        ] );
+      ( "threshold",
+        [
+          tc "boundary S=6 t=1" test_threshold_boundary_s6_t1;
+          tc "boundary t=2,3" test_threshold_boundary_t2;
+          tc "violation is MWA4" test_threshold_violation_is_new_old_inversion;
+          tc "write rounds irrelevant (s5.1)" test_threshold_write_rounds_irrelevant;
+          tc "slow read immune" test_threshold_slow_read_immune;
+        ] );
+    ]
