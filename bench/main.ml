@@ -18,6 +18,12 @@ let section title =
 
 let row fmt = Printf.printf fmt
 
+(* The domain pool shared by the fan-out experiments, set from
+   --domains / MWREG_DOMAINS in [main].  Every task builds its own
+   engine, RNG and history and results merge in task order, so the
+   tables are byte-identical at any domain count. *)
+let pool = ref (Parallel.Pool.create ~domains:1 ())
+
 (* ------------------------------------------------------------------ *)
 (* Shared workload machinery                                            *)
 (* ------------------------------------------------------------------ *)
@@ -77,13 +83,57 @@ let run_once ~register ~s ~t ~w ~r ~seed ~shape =
 (* T1: Table 1 — the design-space matrix                                *)
 (* ------------------------------------------------------------------ *)
 
+let t1_configs = [ (5, 1, 2, 2); (7, 3, 2, 2); (6, 1, 3, 3); (9, 2, 2, 2) ]
+
+(* One Table-1 cell: (runs, broken) over shapes × seeds plus the
+   certificate-starvation attack.  The shape × seed runs are independent
+   and fan out over [pool]; counts merge in task order. *)
+let t1_cell pool ~register ~s ~t ~w ~r =
+  let module R = (val register : Register_intf.S) in
+  let shapes = [ `Benign; `Skips; `Crash; `Inversion ] in
+  let tasks =
+    List.concat_map
+      (fun shape -> List.init 50 (fun i -> (shape, i + 1)))
+      shapes
+  in
+  let verdicts =
+    Parallel.Pool.map pool
+      (fun (shape, seed) -> fst (run_once ~register ~s ~t ~w ~r ~seed ~shape))
+      tasks
+  in
+  let runs = ref 0 and broken = ref 0 in
+  List.iter
+    (fun atomic ->
+      incr runs;
+      if not atomic then incr broken)
+    verdicts;
+  (* The certificate-starvation attack, where applicable. *)
+  (match R.design_point with
+  | Quorums.Bounds.W2R1 | Quorums.Bounds.W1R1 | Quorums.Bounds.W2R2 ->
+    incr runs;
+    let v = Threshold.attack ~register ~s ~t ~r in
+    if not v.Threshold.atomic then incr broken
+  | Quorums.Bounds.W1R2 -> ());
+  (!runs, !broken)
+
+(* The full T1 measurement sweep without the printing, for wall-clock
+   comparisons; returns total (runs, broken). *)
+let t1_sweep pool =
+  List.fold_left
+    (fun (runs, broken) register ->
+      List.fold_left
+        (fun (runs, broken) (s, t, w, r) ->
+          let cell_runs, cell_broken = t1_cell pool ~register ~s ~t ~w ~r in
+          (runs + cell_runs, broken + cell_broken))
+        (runs, broken) t1_configs)
+    (0, 0) Registers.Registry.multi_writer
+
 let table1 () =
   section "T1. Table 1: fast implementations of multi-writer atomic registers";
   Printf.printf
     "Each cell: checker verdicts over randomized + adversarial schedules.\n\
      'atomic' = no violation found in any run; 'VIOLATED(n)' = n runs broken.\n\
      Theoretical column from the paper's Table 1 predicates.\n\n";
-  let configs = [ (5, 1, 2, 2); (7, 3, 2, 2); (6, 1, 3, 3); (9, 2, 2, 2) ] in
   row "%-28s %-16s %-12s %-12s %s\n" "protocol" "config (S,t,W,R)" "theory"
     "measured" "runs";
   row "%s\n" (String.make 86 '-');
@@ -93,31 +143,15 @@ let table1 () =
       List.iter
         (fun (s, t, w, r) ->
           let predicted = Quorums.Bounds.possible R.design_point ~s ~t ~w ~r in
-          let shapes = [ `Benign; `Skips; `Crash; `Inversion ] in
-          let runs = ref 0 and broken = ref 0 in
-          List.iter
-            (fun shape ->
-              for seed = 1 to 50 do
-                incr runs;
-                let atomic, _ = run_once ~register ~s ~t ~w ~r ~seed ~shape in
-                if not atomic then incr broken
-              done)
-            shapes;
-          (* The certificate-starvation attack, where applicable. *)
-          (match R.design_point with
-          | Quorums.Bounds.W2R1 | Quorums.Bounds.W1R1 | Quorums.Bounds.W2R2 ->
-            incr runs;
-            let v = Threshold.attack ~register ~s ~t ~r in
-            if not v.Threshold.atomic then incr broken
-          | Quorums.Bounds.W1R2 -> ());
+          let runs, broken = t1_cell !pool ~register ~s ~t ~w ~r in
           let measured =
-            if !broken = 0 then "atomic"
-            else Printf.sprintf "VIOLATED(%d)" !broken
+            if broken = 0 then "atomic"
+            else Printf.sprintf "VIOLATED(%d)" broken
           in
           row "%-28s S=%d t=%d W=%d R=%d  %-12s %-12s %d\n" R.name s t w r
             (if predicted then "possible" else "impossible")
-            measured !runs)
-        configs;
+            measured runs)
+        t1_configs;
       row "%s\n" (String.make 86 '-'))
     Registers.Registry.multi_writer;
   Printf.printf
@@ -150,11 +184,16 @@ let fig2 () =
       in
       let writes = Stats.writes out.Runtime.history in
       let reads = Stats.reads out.Runtime.history in
-      (* Worst-case consistency over schedule shapes. *)
-      let worst = ref Checker.Consistency.Atomic in
-      List.iter
-        (fun shape ->
-          for seed = 1 to 40 do
+      (* Worst-case consistency over schedule shapes, fanned out per
+         (shape, seed); min over the lattice is order-independent. *)
+      let tasks =
+        List.concat_map
+          (fun shape -> List.init 40 (fun i -> (shape, i + 1)))
+          [ `Benign; `Skips ]
+      in
+      let levels =
+        Parallel.Pool.map !pool
+          (fun (shape, seed) ->
             let latency = Simulation.Latency.uniform ~lo:1.0 ~hi:10.0 in
             let env = Env.make ~seed ~latency ~s:5 ~t:1 ~w:2 ~r:2 () in
             let topology = env.Env.topology in
@@ -177,16 +216,21 @@ let fig2 () =
               Runtime.run ~register ~env ~plans
                 ~adversary:(Adversary.apply adversary) ()
             in
-            let level = Checker.Consistency.classify out.Runtime.history in
-            if Checker.Consistency.compare_level level !worst < 0 then
-              worst := level
-          done)
-        [ `Benign; `Skips ];
+            Checker.Consistency.classify out.Runtime.history)
+          tasks
+      in
+      let worst =
+        List.fold_left
+          (fun worst level ->
+            if Checker.Consistency.compare_level level worst < 0 then level
+            else worst)
+          Checker.Consistency.Atomic levels
+      in
       row "%-28s W%dR%d     %-12.1f %-12.1f %-14s %s\n" R.name
         (Quorums.Bounds.write_rounds R.design_point)
         (Quorums.Bounds.read_rounds R.design_point)
         writes.Stats.mean reads.Stats.mean
-        (Checker.Consistency.level_to_string !worst)
+        (Checker.Consistency.level_to_string worst)
         (Quorums.Bounds.design_point_to_string R.design_point))
     Registers.Registry.multi_writer;
   Printf.printf
@@ -647,6 +691,55 @@ let exhaustive () =
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Machine-readable results so later PRs have a perf trajectory to
+   compare against: bechamel estimates plus the T1 sweep wall-clock,
+   sequential vs the configured pool. *)
+let bench_results_path = "BENCH_results.json"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_results ~micro ~seq_s ~par_s ~domains ~runs ~broken =
+  let oc = open_out bench_results_path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"generated_by\": \"dune exec bench/main.exe -- micro\",\n";
+  out "  \"recommended_domain_count\": %d,\n"
+    (Domain.recommended_domain_count ());
+  out "  \"wall_clock\": [\n";
+  out "    {\n";
+  out "      \"experiment\": \"t1-measurement-sweep\",\n";
+  out "      \"runs\": %d,\n" runs;
+  out "      \"violations\": %d,\n" broken;
+  out "      \"sequential_s\": %.6f,\n" seq_s;
+  out "      \"parallel_s\": %.6f,\n" par_s;
+  out "      \"domains\": %d,\n" domains;
+  out "      \"speedup\": %.3f\n" (seq_s /. par_s);
+  out "    }\n";
+  out "  ],\n";
+  out "  \"micro_ns_per_run\": {\n";
+  let n = List.length micro in
+  List.iteri
+    (fun i (name, estimate) ->
+      out "    \"%s\": %.2f%s\n" (json_escape name) estimate
+        (if i = n - 1 then "" else ","))
+    micro;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" bench_results_path
+
 let micro () =
   section "B*. Bechamel micro-benchmarks (one Test.make per table/figure path)";
   let open Bechamel in
@@ -773,6 +866,7 @@ let micro () =
   in
   row "%-32s %14s\n" "benchmark" "time/run";
   row "%s\n" (String.make 48 '-');
+  let estimates = ref [] in
   List.iter
     (fun test ->
       List.iter
@@ -789,12 +883,35 @@ let micro () =
             else if estimate > 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
             else Printf.sprintf "%.0f ns" estimate
           in
+          estimates := (name, estimate) :: !estimates;
           row "%-32s %14s\n" name pretty)
         (Hashtbl.fold
            (fun name result acc -> (name, result) :: acc)
            (Benchmark.all cfg [ instance ] test)
            []))
-    tests
+    tests;
+  (* Wall-clock of the full T1 measurement sweep, sequential vs the
+     configured pool. *)
+  let time_sweep p =
+    let t0 = Unix.gettimeofday () in
+    let runs, broken = t1_sweep p in
+    (Unix.gettimeofday () -. t0, runs, broken)
+  in
+  let seq_s, seq_runs, seq_broken =
+    time_sweep (Parallel.Pool.create ~domains:1 ())
+  in
+  let domains = Parallel.Pool.domains !pool in
+  let par_s, par_runs, par_broken = time_sweep !pool in
+  row "\n%-32s %14s\n" "t1 sweep wall-clock" "seconds";
+  row "%s\n" (String.make 48 '-');
+  row "%-32s %14.3f\n" "sequential (1 domain)" seq_s;
+  row "%-32s %14.3f\n" (Printf.sprintf "parallel (%d domains)" domains) par_s;
+  row "%-32s %13.2fx\n" "speedup" (seq_s /. par_s);
+  if (seq_runs, seq_broken) <> (par_runs, par_broken) then
+    row "WARNING: parallel verdicts diverge from sequential (%d,%d vs %d,%d)\n"
+      seq_runs seq_broken par_runs par_broken;
+  write_bench_results ~micro:(List.rev !estimates) ~seq_s ~par_s ~domains
+    ~runs:seq_runs ~broken:seq_broken
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -818,10 +935,26 @@ let experiments =
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let domains, requested =
+    let rec go domains acc = function
+      | [] -> (domains, List.rev acc)
+      | "--domains" :: n :: rest -> go (int_of_string_opt n) acc rest
+      | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--domains=" ->
+        go (int_of_string_opt (String.sub arg 10 (String.length arg - 10))) acc rest
+      | arg :: rest -> go domains (arg :: acc) rest
+    in
+    go None [] args
+  in
+  let domains =
+    match domains with Some n -> max 1 n | None -> Parallel.Pool.default_domains ()
+  in
+  pool := Parallel.Pool.create ~domains ();
+  (* stderr, so the experiment tables stay byte-identical across domain
+     counts. *)
+  Printf.eprintf "[domains %d]\n%!" domains;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst experiments
+    match requested with [] -> List.map fst experiments | args -> args
   in
   Printf.printf
     "mwregister benchmark harness — reproducing Huang, Huang & Wei (PODC 2020)\n";

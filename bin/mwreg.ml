@@ -29,6 +29,17 @@ let r_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
 
+let domains_arg =
+  let doc =
+    "Domains for parallel sweeps (results are identical at any count); 0 \
+     means the MWREG_DOMAINS environment variable if set, else the \
+     recommended domain count."
+  in
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
+
+let pool_of_domains n =
+  if n >= 1 then Pool.create ~domains:n () else Pool.create ()
+
 let protocol_arg =
   let doc =
     "Register protocol: substring match against the registry (w2r2/ls97, \
@@ -330,13 +341,14 @@ let check_cmd =
 (* exhaustive                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let exhaustive protocol s w r max_runs =
+let exhaustive protocol s w r max_runs domains =
   match find_protocol protocol with
   | None ->
     Printf.eprintf "unknown protocol %S\n" protocol;
     exit 1
   | Some register ->
-    let o = Exhaustive.explore ~max_runs ~register ~s ~w ~r () in
+    let pool = pool_of_domains domains in
+    let o = Exhaustive.explore ~max_runs ~pool ~register ~s ~w ~r () in
     Format.printf "%s, S=%d t=1 W=%d R=%d: %a@." (Registry.name register) s w r
       Exhaustive.pp_outcome o;
     if o.Exhaustive.violations > 0 then exit 2
@@ -353,13 +365,13 @@ let exhaustive_cmd =
           $ Arg.(value & opt int 3 & info [ "s"; "servers" ])
           $ Arg.(value & opt int 2 & info [ "w"; "writers" ])
           $ Arg.(value & opt int 1 & info [ "r"; "readers" ])
-          $ max_runs)
+          $ max_runs $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hunt                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let hunt protocol s t w r budget =
+let hunt protocol s t w r budget domains =
   match find_protocol protocol with
   | None ->
     Printf.eprintf "unknown protocol %S\n" protocol;
@@ -367,8 +379,11 @@ let hunt protocol s t w r budget =
   | Some register ->
     Printf.printf "hunting for an atomicity violation of %s at S=%d t=%d W=%d R=%d...\n"
       (Registry.name register) s t w r;
+    let pool = pool_of_domains domains in
     let found, runs =
-      Hunter.hunt ~seeds_per_shape:budget ~register ~s ~t ~w ~r ()
+      if Pool.domains pool > 1 then
+        Hunter.hunt ~seeds_per_shape:budget ~pool ~register ~s ~t ~w ~r ()
+      else Hunter.hunt ~seeds_per_shape:budget ~register ~s ~t ~w ~r ()
     in
     (match found with
     | Some f ->
@@ -390,7 +405,8 @@ let hunt_cmd =
     (Cmd.info "hunt"
        ~doc:"Search adversarial schedules for an atomicity violation of a \
              protocol at a configuration.")
-    Term.(const hunt $ protocol_arg $ s_arg $ t_arg $ w_arg $ r_arg $ budget)
+    Term.(const hunt $ protocol_arg $ s_arg $ t_arg $ w_arg $ r_arg $ budget
+          $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -92,12 +92,38 @@ let local_conditions ctx =
     Ok ()
   with Bad w -> Error w
 
+(* [Op.precedes o1 o2] is [resp o1 < inv o2], so once ops are sorted by
+   invocation time the set an op precedes is a suffix: binary-searching
+   the first invocation strictly after [resp] skips every pair that
+   cannot precede, replacing the all-pairs O(W² + R²) [precedes] scans
+   while producing the exact same edge set (the suffix membership test
+   *is* the [precedes] test). *)
+let first_after invs x =
+  let lo = ref 0 and hi = ref (Array.length invs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if invs.(mid) > x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let sorted_by_inv ops inv_of =
+  let n = Array.length ops in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (inv_of ops.(a)) (inv_of ops.(b))) idx;
+  (idx, Array.map (fun i -> inv_of ops.(i)) idx)
+
 let saturate ctx =
   (* E1: real-time order between writes. *)
+  let w_idx, w_invs =
+    sorted_by_inv ctx.writes (fun (w : Op.t) -> w.Op.inv)
+  in
   for i = 0 to ctx.n - 1 do
-    for j = 0 to ctx.n - 1 do
-      if i <> j && Op.precedes ctx.writes.(i) ctx.writes.(j) then add_edge ctx i j
-    done
+    match ctx.writes.(i).Op.resp with
+    | None -> ()
+    | Some resp ->
+      for k = first_after w_invs resp to ctx.n - 1 do
+        add_edge ctx i w_idx.(k)
+      done
   done;
   (* E2 and E4: obligations through each read. *)
   Array.iter
@@ -112,13 +138,18 @@ let saturate ctx =
     ctx.reads;
   (* E3: new/old inversions between reads. *)
   let nr = Array.length ctx.reads in
+  let r_idx, r_invs =
+    sorted_by_inv ctx.reads (fun ((r : Op.t), _) -> r.Op.inv)
+  in
   for a = 0 to nr - 1 do
-    for b = 0 to nr - 1 do
-      if a <> b then begin
-        let r1, w1 = ctx.reads.(a) and r2, w2 = ctx.reads.(b) in
-        if w1 <> w2 && Op.precedes r1 r2 then add_edge ctx w1 w2
-      end
-    done
+    let r1, w1 = ctx.reads.(a) in
+    match r1.Op.resp with
+    | None -> ()
+    | Some resp ->
+      for k = first_after r_invs resp to nr - 1 do
+        let _, w2 = ctx.reads.(r_idx.(k)) in
+        if w1 <> w2 then add_edge ctx w1 w2
+      done
   done
 
 (* Iterative DFS cycle detection returning the cycle's nodes. *)

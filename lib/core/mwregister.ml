@@ -10,7 +10,8 @@
     - {!Env}, {!Runtime}, {!Register_intf}: running protocols;
     - {!Registry} and the individual protocol modules;
     - {!Impossibility} namespace: the mechanized proofs;
-    - {!Adversary}, {!Threshold}, {!Stats}: workloads and experiments.
+    - {!Adversary}, {!Threshold}, {!Stats}: workloads and experiments;
+    - {!Pool}: the work-sharing domain pool for parallel sweeps.
 
     The convenience entry point {!run_and_check} wires the common loop:
     build an environment, run a workload against a protocol, and return
@@ -61,6 +62,8 @@ module Impossible = struct
   module Realizability = Impossibility.Realizability
   module Report = Impossibility.Report
 end
+
+module Pool = Parallel.Pool
 
 module Adversary = Workload.Adversary
 module Threshold = Workload.Threshold

@@ -19,7 +19,7 @@ type 'msg t = {
   crashed : (int, unit) Hashtbl.t;
   mutable filter : ('msg envelope -> action) option;
   mutable forbidden : (src:int -> dst:int -> bool) list;
-  mutable held : 'msg envelope list; (* newest first *)
+  held : 'msg envelope Queue.t; (* FIFO: original send order *)
   mutable next_id : int;
   mutable n_sent : int;
   mutable n_delivered : int;
@@ -37,7 +37,7 @@ let create engine ~latency ?trace () =
     crashed = Hashtbl.create 8;
     filter = None;
     forbidden = [];
-    held = [];
+    held = Queue.create ();
     next_id = 0;
     n_sent = 0;
     n_delivered = 0;
@@ -110,7 +110,7 @@ let send t ~src ~dst payload =
     | Delay d -> deliver_later t env ~delay:d
     | Hold ->
       t.n_held_ever <- t.n_held_ever + 1;
-      t.held <- env :: t.held;
+      Queue.add env t.held;
       log t ~tag:"hold" (Printf.sprintf "#%d %d->%d" env.id src dst)
     | Drop -> drop t env "filtered"
   end
@@ -120,16 +120,16 @@ let set_filter t f = t.filter <- f
 let forbid t p = t.forbidden <- p :: t.forbidden
 
 let release_held ?(keep = fun _ -> false) t =
-  let in_order = List.rev t.held in
-  let kept, released = List.partition keep in_order in
-  t.held <- List.rev kept;
+  let kept, released = List.partition keep (List.of_seq (Queue.to_seq t.held)) in
+  Queue.clear t.held;
+  List.iter (fun env -> Queue.add env t.held) kept;
   List.iter
     (fun env ->
       log t ~tag:"release" (Printf.sprintf "#%d %d->%d" env.id env.src env.dst);
       deliver_later t env ~delay:0.0)
     released
 
-let held_count t = List.length t.held
+let held_count t = Queue.length t.held
 
 let stats t =
   {

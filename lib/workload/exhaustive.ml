@@ -13,14 +13,18 @@ type outcome = {
   first : violation option;
 }
 
+(* Remove the pivot by position, not by value: [List.filter (<> x)]
+   deletes every duplicate of [x] at once (losing permutations) and
+   rescans the whole list per pivot. *)
 let rec permutations = function
   | [] -> [ [] ]
   | xs ->
-    List.concat_map
-      (fun x ->
-        let rest = List.filter (fun y -> y <> x) xs in
-        List.map (fun p -> x :: p) (permutations rest))
-      xs
+    List.concat
+      (List.mapi
+         (fun i x ->
+           let rest = List.filteri (fun j _ -> j <> i) xs in
+           List.map (fun p -> x :: p) (permutations rest))
+         xs)
 
 let slot_duration = 100.0
 
@@ -44,81 +48,111 @@ let run_one ~register ~s ~w ~r ~order ~digits =
         if op < w then Runtime.write_plan ~writer:op ~start_at:(start_of op) 1
         else Runtime.read_plan ~reader:(op - w) ~start_at:(start_of op) 1)
   in
-  let adversary _ctl _engine = () in
-  ignore adversary;
+  (* node -> op index, so the route filter is an array load rather than a
+     linear scan per message. *)
+  let op_of_node = Array.make (Topology.node_count topology) (-1) in
+  for op = 0 to n - 1 do
+    op_of_node.(node_of op) <- op
+  done;
   let route ~src ~dst ~now =
     if not (Topology.is_server topology dst) then Simulation.Network.Deliver
     else begin
       (* Which op and round does this message belong to? *)
-      let rec find op = if op >= n then None else if node_of op = src then Some op else find (op + 1) in
-      match find 0 with
-      | None -> Simulation.Network.Deliver
-      | Some op ->
+      let op = op_of_node.(src) in
+      if op < 0 then Simulation.Network.Deliver
+      else begin
         let start = start_of op in
         let round = if now < start +. 1.5 then 0 else 1 in
         let digit = digits.((op * 2) + round) in
         if digit = 1 + dst then Simulation.Network.Hold
         else Simulation.Network.Deliver
+      end
     end
   in
   let adversary ctl _engine = ctl.Control.set_route (Some route) in
   let out = Runtime.run ~register ~env ~plans ~adversary () in
   Checker.Atomicity.check out.Runtime.history
 
-let explore ?(max_runs = 100_000) ~register ~s ~w ~r () =
+let int_pow base e =
+  let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+  go 1 e
+
+(* Sweep the first [budget] digit combinations (in mixed-radix counting
+   order, all zeros first) of one client order. *)
+let sweep_order ~register ~s ~w ~r ~order ~budget =
   let n = w + r in
   let digit_count = 2 * n in
   let base = s + 1 in
-  let orders = permutations (List.init n (fun i -> i)) in
   let digits = Array.make digit_count 0 in
-  let runs = ref 0 in
   let violations = ref 0 in
   let first = ref None in
-  let truncated = ref false in
-  (try
-     List.iter
-       (fun order ->
-         Array.fill digits 0 digit_count 0;
-         let continue = ref true in
-         while !continue do
-           if !runs >= max_runs then begin
-             truncated := true;
-             raise Exit
-           end;
-           incr runs;
-           (match run_one ~register ~s ~w ~r ~order ~digits with
-           | Ok () -> ()
-           | Error witness ->
-             incr violations;
-             if !first = None then
-               first :=
-                 Some
-                   {
-                     order;
-                     skips =
-                       Array.to_list digits
-                       |> List.mapi (fun rs d -> (rs, d - 1))
-                       |> List.filter (fun (_, srv) -> srv >= 0);
-                     witness;
-                   });
-           (* Mixed-radix increment. *)
-           let rec inc i =
-             if i >= digit_count then continue := false
-             else if digits.(i) + 1 < base then digits.(i) <- digits.(i) + 1
-             else begin
-               digits.(i) <- 0;
-               inc (i + 1)
-             end
-           in
-           inc 0
-         done)
-       orders
-   with Exit -> ());
+  for _ = 1 to budget do
+    (match run_one ~register ~s ~w ~r ~order ~digits with
+    | Ok () -> ()
+    | Error witness ->
+      incr violations;
+      if !first = None then
+        first :=
+          Some
+            {
+              order;
+              skips =
+                Array.to_list digits
+                |> List.mapi (fun rs d -> (rs, d - 1))
+                |> List.filter (fun (_, srv) -> srv >= 0);
+              witness;
+            });
+    (* Mixed-radix increment (wraps to all zeros after the last combo). *)
+    let rec inc i =
+      if i < digit_count then
+        if digits.(i) + 1 < base then digits.(i) <- digits.(i) + 1
+        else begin
+          digits.(i) <- 0;
+          inc (i + 1)
+        end
+    in
+    inc 0
+  done;
+  (!violations, !first)
+
+let explore ?(max_runs = 100_000) ?pool ~register ~s ~w ~r () =
+  let n = w + r in
+  let combos = int_pow (s + 1) (2 * n) in
+  let orders = permutations (List.init n (fun i -> i)) in
+  (* Sequentially, order k would consume runs [k*combos, (k+1)*combos),
+     truncated at [max_runs]; slicing each order's budget up front keeps
+     the parallel sweep's outcome (runs, violations, first witness,
+     truncation) identical to the sequential one. *)
+  let budgeted =
+    List.mapi
+      (fun k order ->
+        let start = k * combos in
+        let budget =
+          if start >= max_runs then 0 else min combos (max_runs - start)
+        in
+        (order, budget))
+      orders
+  in
+  let pool =
+    match pool with Some p -> p | None -> Parallel.Pool.create ~domains:1 ()
+  in
+  let per_order =
+    Parallel.Pool.map pool
+      (fun (order, budget) ->
+        if budget = 0 then (0, None)
+        else sweep_order ~register ~s ~w ~r ~order ~budget)
+      budgeted
+  in
+  let runs = List.fold_left (fun acc (_, b) -> acc + b) 0 budgeted in
+  let violations = List.fold_left (fun acc (v, _) -> acc + v) 0 per_order in
+  let first =
+    List.find_map (fun (_, f) -> f) per_order
+  in
   {
-    runs = !runs;
-    exhaustive = not !truncated;
-    violations = !violations;
-    first = !first;
+    runs;
+    exhaustive = List.length orders * combos <= max_runs;
+    violations;
+    first;
   }
 
 let pp_outcome ppf o =

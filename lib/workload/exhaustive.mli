@@ -33,12 +33,16 @@ type outcome = {
 
 val explore :
   ?max_runs:int ->
+  ?pool:Parallel.Pool.t ->
   register:Register_intf.t ->
   s:int ->
   w:int ->
   r:int ->
   unit ->
   outcome
-(** Sweep with [t = 1].  Default [max_runs] 100_000. *)
+(** Sweep with [t = 1].  Default [max_runs] 100_000.  With [pool], client
+    orders sweep on separate domains (each run builds its own engine and
+    history); the outcome — including run count, first violation and the
+    [max_runs] truncation point — is identical to the sequential sweep. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

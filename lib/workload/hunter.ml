@@ -98,26 +98,60 @@ let run_shape ~register ~s ~t ~w ~r ~seed shape =
     in
     (witness, mwa)
 
-let hunt ?(shapes = all_shapes) ?(seeds_per_shape = 50) ~register ~s ~t ~w ~r ()
-    =
-  let runs = ref 0 in
-  let result = ref None in
-  (try
-     List.iter
-       (fun shape ->
-         let seeds = if shape = Starvation || shape = Inversion then 1 else seeds_per_shape in
-         for seed = 1 to seeds do
-           incr runs;
-           match run_shape ~register ~s ~t ~w ~r ~seed shape with
-           | Some witness, mwa_failure ->
-             result :=
-               Some { shape; seed; runs_tried = !runs; witness; mwa_failure };
-             raise Exit
-           | None, _ -> ()
-         done)
-       shapes
-   with Exit -> ());
-  (!result, !runs)
+let hunt ?(shapes = all_shapes) ?(seeds_per_shape = 50) ?pool ~register ~s ~t
+    ~w ~r () =
+  match pool with
+  | None ->
+    (* Sequential hunt stops at the first witness. *)
+    let runs = ref 0 in
+    let result = ref None in
+    (try
+       List.iter
+         (fun shape ->
+           let seeds =
+             if shape = Starvation || shape = Inversion then 1
+             else seeds_per_shape
+           in
+           for seed = 1 to seeds do
+             incr runs;
+             match run_shape ~register ~s ~t ~w ~r ~seed shape with
+             | Some witness, mwa_failure ->
+               result :=
+                 Some { shape; seed; runs_tried = !runs; witness; mwa_failure };
+               raise Exit
+             | None, _ -> ()
+           done)
+         shapes
+     with Exit -> ());
+    (!result, !runs)
+  | Some pool ->
+    (* Parallel hunt: every (shape, seed) run is independent, so fan the
+       whole budget out and report the find with the smallest index in
+       the sequential visit order — same witness, same [runs_tried], as
+       if the sequential hunt had stopped there. *)
+    let tasks =
+      List.concat_map
+        (fun shape ->
+          let seeds =
+            if shape = Starvation || shape = Inversion then 1
+            else seeds_per_shape
+          in
+          List.init seeds (fun i -> (shape, i + 1)))
+        shapes
+    in
+    let outcomes =
+      Parallel.Pool.map pool
+        (fun (shape, seed) -> run_shape ~register ~s ~t ~w ~r ~seed shape)
+        tasks
+    in
+    let rec first idx tasks outcomes =
+      match (tasks, outcomes) with
+      | [], _ | _, [] -> (None, idx)
+      | (shape, seed) :: _, (Some witness, mwa_failure) :: _ ->
+        (Some { shape; seed; runs_tried = idx + 1; witness; mwa_failure }, idx + 1)
+      | _ :: tasks, (None, _) :: outcomes -> first (idx + 1) tasks outcomes
+    in
+    first 0 tasks outcomes
 
 let pp_found ppf f =
   Format.fprintf ppf

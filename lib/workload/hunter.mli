@@ -42,6 +42,7 @@ val run_shape :
 val hunt :
   ?shapes:shape list ->
   ?seeds_per_shape:int ->
+  ?pool:Parallel.Pool.t ->
   register:Register_intf.t ->
   s:int ->
   t:int ->
@@ -49,6 +50,12 @@ val hunt :
   r:int ->
   unit ->
   (found option * int)
-(** Search; returns the first find and the total runs executed. *)
+(** Search; returns the first find and the total runs executed.  With
+    [pool] the shape × seed sweep fans out over domains; the reported
+    find (shape, seed, [runs_tried]) is the one the sequential hunt
+    would report.  A parallel hunt that finds a witness executes the
+    whole budget instead of stopping early, so the run count returned on
+    success equals [runs_tried] (as in the sequential case), not the
+    work performed. *)
 
 val pp_found : Format.formatter -> found -> unit
