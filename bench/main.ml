@@ -468,9 +468,9 @@ let latency_exp () =
       ~region_of:(fun n -> n mod 3)
       ~local:5.0 ~cross:40.0 ~jitter:10.0
   in
-  row "%-28s %-10s %-10s %-10s %-10s\n" "protocol" "read-mean" "read-p95"
-    "write-mean" "write-p95";
-  row "%s\n" (String.make 72 '-');
+  row "%-28s %-10s %-10s %-10s %-10s %-11s %-10s\n" "protocol" "read-mean"
+    "read-p50" "read-p95" "read-p99" "write-mean" "write-p99";
+  row "%s\n" (String.make 92 '-');
   List.iter
     (fun register ->
       let module R = (val register : Register_intf.S) in
@@ -485,8 +485,9 @@ let latency_exp () =
       done;
       let reads = Stats.of_latencies !reads_acc in
       let writes = Stats.of_latencies !writes_acc in
-      row "%-28s %-10.1f %-10.1f %-10.1f %-10.1f\n" R.name reads.Stats.mean
-        reads.Stats.p95 writes.Stats.mean writes.Stats.p95)
+      row "%-28s %-10.1f %-10.1f %-10.1f %-10.1f %-11.1f %-10.1f\n" R.name
+        reads.Stats.mean reads.Stats.p50 reads.Stats.p95 reads.Stats.p99
+        writes.Stats.mean writes.Stats.p99)
     [
       Registers.Registry.abd_mwmr;
       Registers.Registry.fastread_w2r1;
@@ -692,9 +693,41 @@ let exhaustive () =
 (* ------------------------------------------------------------------ *)
 
 (* Machine-readable results so later PRs have a perf trajectory to
-   compare against: bechamel estimates plus the T1 sweep wall-clock,
-   sequential vs the configured pool. *)
+   compare against: bechamel estimates plus the T1 sweep wall-clock
+   (from [micro]) and the live-TCP throughput/latency table (from
+   [live]).  Each experiment deposits its section here; the file is
+   written once, after all requested experiments ran, so `-- micro live`
+   produces one combined document. *)
 let bench_results_path = "BENCH_results.json"
+
+type micro_section = {
+  estimates : (string * float) list;
+  seq_s : float;
+  par_s : float;
+  domains : int;
+  runs : int;
+  broken : int;
+}
+
+type live_row = {
+  l_name : string;
+  l_point : string;
+  l_s : int;
+  l_t : int;
+  l_w : int;
+  l_r : int;
+  l_ops : int;
+  l_duration : float;
+  l_write_rounds : float;
+  l_read_rounds : float;
+  l_writes : Stats.summary;
+  l_reads : Stats.summary;
+  l_atomic : bool;
+}
+
+let micro_section : micro_section option ref = ref None
+
+let live_rows : live_row list ref = ref []
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -710,35 +743,144 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_bench_results ~micro ~seq_s ~par_s ~domains ~runs ~broken =
-  let oc = open_out bench_results_path in
-  let out fmt = Printf.fprintf oc fmt in
-  out "{\n";
-  out "  \"generated_by\": \"dune exec bench/main.exe -- micro\",\n";
-  out "  \"recommended_domain_count\": %d,\n"
-    (Domain.recommended_domain_count ());
-  out "  \"wall_clock\": [\n";
-  out "    {\n";
-  out "      \"experiment\": \"t1-measurement-sweep\",\n";
-  out "      \"runs\": %d,\n" runs;
-  out "      \"violations\": %d,\n" broken;
-  out "      \"sequential_s\": %.6f,\n" seq_s;
-  out "      \"parallel_s\": %.6f,\n" par_s;
-  out "      \"domains\": %d,\n" domains;
-  out "      \"speedup\": %.3f\n" (seq_s /. par_s);
-  out "    }\n";
-  out "  ],\n";
-  out "  \"micro_ns_per_run\": {\n";
-  let n = List.length micro in
-  List.iteri
-    (fun i (name, estimate) ->
-      out "    \"%s\": %.2f%s\n" (json_escape name) estimate
-        (if i = n - 1 then "" else ","))
-    micro;
-  out "  }\n";
-  out "}\n";
-  close_out oc;
-  Printf.printf "\nwrote %s\n" bench_results_path
+let write_bench_results () =
+  if !micro_section <> None || !live_rows <> [] then begin
+    let oc = open_out bench_results_path in
+    let out fmt = Printf.fprintf oc fmt in
+    out "{\n";
+    out "  \"generated_by\": \"dune exec bench/main.exe -- micro live\",\n";
+    out "  \"recommended_domain_count\": %d" (Domain.recommended_domain_count ());
+    (match !micro_section with
+    | None -> ()
+    | Some m ->
+      out ",\n  \"wall_clock\": [\n";
+      out "    {\n";
+      out "      \"experiment\": \"t1-measurement-sweep\",\n";
+      out "      \"runs\": %d,\n" m.runs;
+      out "      \"violations\": %d,\n" m.broken;
+      out "      \"sequential_s\": %.6f,\n" m.seq_s;
+      out "      \"parallel_s\": %.6f,\n" m.par_s;
+      out "      \"domains\": %d,\n" m.domains;
+      out "      \"speedup\": %.3f\n" (m.seq_s /. m.par_s);
+      out "    }\n";
+      out "  ],\n";
+      out "  \"micro_ns_per_run\": {\n";
+      let n = List.length m.estimates in
+      List.iteri
+        (fun i (name, estimate) ->
+          out "    \"%s\": %.2f%s\n" (json_escape name) estimate
+            (if i = n - 1 then "" else ","))
+        m.estimates;
+      out "  }");
+    (match List.rev !live_rows with
+    | [] -> ()
+    | rows ->
+      let ms_obj (st : Stats.summary) =
+        Printf.sprintf
+          "{ \"mean\": %.4f, \"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f }"
+          (1e3 *. st.Stats.mean) (1e3 *. st.Stats.p50) (1e3 *. st.Stats.p95)
+          (1e3 *. st.Stats.p99)
+      in
+      out ",\n  \"live\": [\n";
+      let n = List.length rows in
+      List.iteri
+        (fun i r ->
+          out "    {\n";
+          out "      \"protocol\": \"%s\",\n" (json_escape r.l_name);
+          out "      \"design_point\": \"%s\",\n" (json_escape r.l_point);
+          out "      \"s\": %d, \"t\": %d, \"writers\": %d, \"readers\": %d,\n"
+            r.l_s r.l_t r.l_w r.l_r;
+          out "      \"ops\": %d,\n" r.l_ops;
+          out "      \"duration_s\": %.6f,\n" r.l_duration;
+          out "      \"throughput_ops_per_s\": %.1f,\n"
+            (float_of_int r.l_ops /. r.l_duration);
+          out "      \"write_rounds_per_op\": %.2f,\n" r.l_write_rounds;
+          out "      \"read_rounds_per_op\": %.2f,\n" r.l_read_rounds;
+          out "      \"write_ms\": %s,\n" (ms_obj r.l_writes);
+          out "      \"read_ms\": %s,\n" (ms_obj r.l_reads);
+          out "      \"atomic\": %b\n" r.l_atomic;
+          out "    }%s\n" (if i = n - 1 then "" else ","))
+        rows;
+      out "  ]");
+    out "\n}\n";
+    close_out oc;
+    Printf.printf "\nwrote %s\n" bench_results_path
+  end
+
+(* ------------------------------------------------------------------ *)
+(* LV: the live TCP benchmark                                           *)
+(* ------------------------------------------------------------------ *)
+
+let live_exp () =
+  section "LV. Live TCP: the same algorithm bodies over real loopback sockets";
+  Printf.printf
+    "Each row: a fresh S=5 t=1 loopback cluster (real server daemons, real\n\
+     TCP round trips), W writers x 20 writes and R readers x 40 reads, the\n\
+     recorded wall-clock history checked for atomicity.  Rounds/op must\n\
+     match Table 1 -- the paper's cost measure, now measured on sockets.\n\n";
+  row "%-28s %-8s %-9s %-9s %-24s %-24s %s\n" "protocol" "ops/s" "write-rt"
+    "read-rt" "write ms (p50/p95/p99)" "read ms (p50/p95/p99)" "atomic";
+  row "%s\n" (String.make 112 '-');
+  let s = 5 and t = 1 and ops = 20 in
+  List.iter
+    (fun (register, w, r) ->
+      let cluster = Transport.Cluster.start ~s ~tol:t () in
+      Fun.protect
+        ~finally:(fun () -> Transport.Cluster.shutdown cluster)
+        (fun () ->
+          let res =
+            Transport.Session.run ~register ~cluster
+              {
+                Transport.Session.writers = w;
+                readers = r;
+                writes_per_writer = ops;
+                reads_per_reader = 2 * ops;
+                write_think = 0.0;
+                read_think = 0.0;
+              }
+          in
+          let h = res.Transport.Session.history in
+          let n_ops = Histories.History.length h in
+          let writes = Stats.writes h and reads = Stats.reads h in
+          let atomic = Checker.Atomicity.is_atomic h in
+          let name = Registers.Registry.name register in
+          row "%-28s %-8.0f %-9.2f %-9.2f %-24s %-24s %b\n" name
+            (float_of_int n_ops /. res.Transport.Session.duration)
+            res.Transport.Session.write_rounds res.Transport.Session.read_rounds
+            (Printf.sprintf "%.2f/%.2f/%.2f" (1e3 *. writes.Stats.p50)
+               (1e3 *. writes.Stats.p95) (1e3 *. writes.Stats.p99))
+            (Printf.sprintf "%.2f/%.2f/%.2f" (1e3 *. reads.Stats.p50)
+               (1e3 *. reads.Stats.p95) (1e3 *. reads.Stats.p99))
+            atomic;
+          live_rows :=
+            {
+              l_name = name;
+              l_point =
+                Quorums.Bounds.design_point_to_string
+                  (Registers.Registry.design_point register);
+              l_s = s;
+              l_t = t;
+              l_w = w;
+              l_r = r;
+              l_ops = n_ops;
+              l_duration = res.Transport.Session.duration;
+              l_write_rounds = res.Transport.Session.write_rounds;
+              l_read_rounds = res.Transport.Session.read_rounds;
+              l_writes = writes;
+              l_reads = reads;
+              l_atomic = atomic;
+            }
+            :: !live_rows))
+    [
+      (Registers.Registry.abd_swmr, 1, 2);
+      (Registers.Registry.abd_mwmr, 2, 2);
+      (Registers.Registry.fastread_w2r1, 2, 2);
+      (Registers.Registry.adaptive, 2, 2);
+    ];
+  Printf.printf
+    "\nShape check: the simulator's round-trip economics survive contact with\n\
+     real sockets -- W2R1 reads cost one round trip (half of W2R2's two) and\n\
+     every history stays atomic.\n"
 
 let micro () =
   section "B*. Bechamel micro-benchmarks (one Test.make per table/figure path)";
@@ -910,8 +1052,16 @@ let micro () =
   if (seq_runs, seq_broken) <> (par_runs, par_broken) then
     row "WARNING: parallel verdicts diverge from sequential (%d,%d vs %d,%d)\n"
       seq_runs seq_broken par_runs par_broken;
-  write_bench_results ~micro:(List.rev !estimates) ~seq_s ~par_s ~domains
-    ~runs:seq_runs ~broken:seq_broken
+  micro_section :=
+    Some
+      {
+        estimates = List.rev !estimates;
+        seq_s;
+        par_s;
+        domains;
+        runs = seq_runs;
+        broken = seq_broken;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -931,6 +1081,7 @@ let experiments =
     ("sf", semifast);
     ("wk", w1rk);
     ("ex", exhaustive);
+    ("live", live_exp);
     ("micro", micro);
   ]
 
@@ -965,4 +1116,5 @@ let () =
       | None ->
         Printf.printf "unknown experiment %S; available: %s\n" name
           (String.concat ", " (List.map fst experiments)))
-    requested
+    requested;
+  write_bench_results ()

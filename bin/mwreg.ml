@@ -47,19 +47,9 @@ let protocol_arg =
   in
   Arg.(value & opt string "w2r1" & info [ "protocol"; "p" ] ~docv:"NAME" ~doc)
 
-let find_protocol name =
-  let aliases =
-    [
-      ("w2r2", "ls97"); ("w2r1", "huang"); ("w1r2", "naive fast-write");
-      ("w1r1", "naive fast-write/fast-read"); ("swmr", "abd'95"); ("sw", "abd'95");
-    ]
-  in
-  let needle =
-    match List.assoc_opt (String.lowercase_ascii name) aliases with
-    | Some alias -> alias
-    | None -> name
-  in
-  Registry.find needle
+(* Name resolution (including the w2r2/w2r1/... aliases) lives entirely
+   in the registry. *)
+let find_protocol = Registry.find
 
 (* ------------------------------------------------------------------ *)
 (* sim                                                                  *)
@@ -409,6 +399,218 @@ let hunt_cmd =
           $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let serve host port id =
+  let replica = Registers.Replica.create () in
+  let server = Live.Server.start ~host ~port ~id ~replica () in
+  Printf.printf "mwreg server %d listening on %s:%d\n%!" id host
+    (Live.Server.port server);
+  (* Serve until the process is killed — which is exactly how clients
+     are meant to lose this server. *)
+  while true do
+    Thread.delay 3600.0
+  done
+
+let serve_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+  in
+  let port =
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT"
+         ~doc:"Port to bind (0 picks an ephemeral port, printed on start).")
+  in
+  let id =
+    Arg.(value & opt int 0 & info [ "id" ] ~docv:"I"
+         ~doc:"This server's index in the cluster (0-based).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run one register server daemon over TCP (kill the process to \
+             crash it).")
+    Term.(const serve $ host $ port $ id)
+
+(* ------------------------------------------------------------------ *)
+(* live                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_hostport spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "bad address %S (want HOST:PORT)" spec)
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    match
+      ( (try Some (Unix.inet_addr_of_string host) with _ -> None),
+        int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+      )
+    with
+    | Some addr, Some port -> Ok (Unix.ADDR_INET (addr, port))
+    | None, _ -> Error (Printf.sprintf "bad host in %S" spec)
+    | _, None -> Error (Printf.sprintf "bad port in %S" spec))
+
+let parse_kill spec =
+  match String.index_opt spec '@' with
+  | None -> Error (Printf.sprintf "bad kill spec %S (want IDX@SEC)" spec)
+  | Some i -> (
+    match
+      ( int_of_string_opt (String.sub spec 0 i),
+        float_of_string_opt
+          (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    with
+    | Some idx, Some at -> Ok (at, idx)
+    | _ -> Error (Printf.sprintf "bad kill spec %S (want IDX@SEC)" spec))
+
+let pp_ms ppf (st : Stats.summary) =
+  Format.fprintf ppf
+    "n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f (ms)" st.Stats.count
+    (1e3 *. st.Stats.mean) (1e3 *. st.Stats.p50) (1e3 *. st.Stats.p95)
+    (1e3 *. st.Stats.p99) (1e3 *. st.Stats.max)
+
+(* One protocol against one (fresh or attached) cluster.  Returns true
+   when the recorded history is atomic. *)
+let live_one ~register ~cluster ~spec ~kill_at ~rt_timeout =
+  let res = Live.Session.run ~kill_at ~rt_timeout ~register ~cluster spec in
+  let h = res.Live.Session.history in
+  let ops = History.length h in
+  Format.printf "protocol    : %s@." (Registry.name register);
+  Format.printf "cluster     : %s S=%d t=%d (quorum %d)@."
+    (if Live.Cluster.local cluster then "loopback" else "remote")
+    (Live.Cluster.s cluster)
+    (Live.Cluster.tolerance cluster)
+    (Live.Cluster.quorum cluster);
+  Format.printf "ops         : %d in %.3fs (%.0f ops/s)@." ops
+    res.Live.Session.duration
+    (float_of_int ops /. res.Live.Session.duration);
+  Format.printf "round trips : write %.2f/op, read %.2f/op, late replies %d@."
+    res.Live.Session.write_rounds res.Live.Session.read_rounds
+    res.Live.Session.late;
+  Format.printf "writes      : %a@." pp_ms (Stats.writes h);
+  Format.printf "reads       : %a@." pp_ms (Stats.reads h);
+  if res.Live.Session.killed <> [] then
+    Format.printf "killed      : %s@."
+      (String.concat ", " (List.map string_of_int res.Live.Session.killed));
+  if res.Live.Session.unavailable > 0 then
+    Format.printf "starved     : %d client(s) gave up without a quorum@."
+      res.Live.Session.unavailable;
+  let ok =
+    match Atomicity.check h with
+    | Ok () ->
+      Format.printf "atomicity   : OK@.";
+      true
+    | Error wit ->
+      Format.printf "atomicity   : VIOLATED %a@." Witness.pp wit;
+      false
+  in
+  Format.printf "@.";
+  ok
+
+let live protocol all s tol w r ops connect kills think rt_timeout =
+  let registers =
+    if all then Ok Registry.all
+    else
+      match find_protocol protocol with
+      | Some register -> Ok [ register ]
+      | None -> Error (Printf.sprintf "unknown protocol %S" protocol)
+  in
+  let addrs =
+    List.fold_right
+      (fun spec acc ->
+        Result.bind acc (fun l ->
+            Result.map (fun a -> a :: l) (parse_hostport spec)))
+      connect (Ok [])
+  in
+  let kill_at =
+    List.fold_right
+      (fun spec acc ->
+        Result.bind acc (fun l ->
+            Result.map (fun k -> k :: l) (parse_kill spec)))
+      kills (Ok [])
+  in
+  match (registers, addrs, kill_at) with
+  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+  | Ok _, Ok (_ :: _), Ok (_ :: _) ->
+    Printf.eprintf "--kill needs a loopback cluster (drop --connect)\n";
+    exit 1
+  | Ok (_ :: _ :: _), Ok (_ :: _), _ ->
+    Printf.eprintf
+      "--all needs a fresh cluster per protocol: drop --connect\n";
+    exit 1
+  | Ok registers, Ok addrs, Ok kill_at ->
+    let run_one register =
+      (* A fresh cluster per protocol: replica state must not leak
+         between runs (a stale value surfacing in a read would be an
+         artifact, not a violation). *)
+      let cluster =
+        match addrs with
+        | [] -> Live.Cluster.start ~s ~tol ()
+        | addrs -> Live.Cluster.connect ~addrs:(Array.of_list addrs) ~tol ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Live.Cluster.shutdown cluster)
+        (fun () ->
+          let w =
+            match Registry.max_writers register with
+            | Some m -> min m w
+            | None -> w
+          in
+          let spec =
+            {
+              Live.Session.writers = w;
+              readers = r;
+              writes_per_writer = ops;
+              reads_per_reader = 2 * ops;
+              write_think = think;
+              read_think = think;
+            }
+          in
+          live_one ~register ~cluster ~spec ~kill_at ~rt_timeout)
+    in
+    let ok = List.for_all run_one registers in
+    if not ok then exit 2
+
+let live_cmd =
+  let all =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Run every registered protocol (smoke mode; single-writer \
+                   protocols are clamped to W=1).")
+  in
+  let ops =
+    Arg.(value & opt int 20 & info [ "ops" ] ~docv:"N"
+         ~doc:"Writes per writer (each reader does 2N reads).")
+  in
+  let connect =
+    Arg.(value & opt_all string []
+         & info [ "connect" ] ~docv:"HOST:PORT"
+             ~doc:"Use an already-running server (repeat once per server) \
+                   instead of spawning a loopback cluster.")
+  in
+  let kills =
+    Arg.(value & opt_all string []
+         & info [ "kill" ] ~docv:"IDX@SEC"
+             ~doc:"Kill server IDX after SEC seconds (repeatable; loopback \
+                   only).")
+  in
+  let think =
+    Arg.(value & opt float 0.0 & info [ "think" ] ~docv:"SEC"
+         ~doc:"Think time between a client's operations.")
+  in
+  let rt_timeout =
+    Arg.(value & opt float 1.0 & info [ "rt-timeout" ] ~docv:"SEC"
+         ~doc:"Per-round-trip timeout before re-broadcasting.")
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:"Run a register protocol over real TCP sockets and check the \
+             recorded history for atomicity.")
+    Term.(const live $ protocol_arg $ all $ s_arg $ t_arg $ w_arg $ r_arg
+          $ ops $ connect $ kills $ think $ rt_timeout)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -419,4 +621,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ sim_cmd; threshold_cmd; impossibility_cmd; sieve_cmd; table1_cmd;
-            record_cmd; check_cmd; exhaustive_cmd; hunt_cmd ]))
+            record_cmd; check_cmd; exhaustive_cmd; hunt_cmd; serve_cmd;
+            live_cmd ]))

@@ -11,7 +11,9 @@
     - {!Registry} and the individual protocol modules;
     - {!Impossibility} namespace: the mechanized proofs;
     - {!Adversary}, {!Threshold}, {!Stats}: workloads and experiments;
-    - {!Pool}: the work-sharing domain pool for parallel sweeps.
+    - {!Pool}: the work-sharing domain pool for parallel sweeps;
+    - {!Live} namespace: the TCP transport — the same algorithms over
+      real sockets.
 
     The convenience entry point {!run_and_check} wires the common loop:
     build an environment, run a workload against a protocol, and return
@@ -64,6 +66,14 @@ module Impossible = struct
 end
 
 module Pool = Parallel.Pool
+
+module Live = struct
+  module Codec = Transport.Codec
+  module Server = Transport.Server
+  module Endpoint = Transport.Endpoint
+  module Cluster = Transport.Cluster
+  module Session = Transport.Session
+end
 
 module Adversary = Workload.Adversary
 module Threshold = Workload.Threshold

@@ -10,23 +10,38 @@ let name = "LS97 ABD-MW"
 
 let design_point = Quorums.Bounds.W2R2
 
+let algo =
+  {
+    Client_core.new_writer =
+      (fun ctx ~writer ->
+        let last_written = ref Wire.initial_value_entry in
+        fun ~payload ~k ->
+          Client_core.two_round_write ctx ~writer ~payload ~last_written ~k);
+    new_reader =
+      (fun ctx ~reader -> fun ~k -> Client_core.two_round_read ctx ~reader ~k);
+  }
+
 type cluster = {
   base : Cluster_base.t;
-  last_written : Wire.value ref array; (* per writer *)
+  writers : Client_core.writer_fn array;
+  readers : Client_core.reader_fn array;
 }
 
 let create env =
   let base = Cluster_base.create env in
+  let ctx = Cluster_base.ctx base in
   {
     base;
-    last_written =
-      Array.init (Protocol.Env.w env) (fun _ -> ref Wire.initial_value_entry);
+    writers =
+      Array.init (Protocol.Env.w env) (fun i ->
+          algo.Client_core.new_writer ctx ~writer:i);
+    readers =
+      Array.init (Protocol.Env.r env) (fun i ->
+          algo.Client_core.new_reader ctx ~reader:i);
   }
 
 let control c = c.base.Cluster_base.ctl
 
-let write c ~writer ~value ~k =
-  Client_core.two_round_write c.base ~writer ~payload:value
-    ~last_written:c.last_written.(writer) ~k
+let write c ~writer ~value ~k = c.writers.(writer) ~payload:value ~k
 
-let read c ~reader ~k = Client_core.two_round_read c.base ~reader ~k
+let read c ~reader ~k = c.readers.(reader) ~k

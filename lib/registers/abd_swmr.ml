@@ -10,18 +10,40 @@ let name = "ABD'95 SWMR"
 
 let design_point = Quorums.Bounds.W1R2
 
-type cluster = { base : Cluster_base.t; clock : Tstamp.t ref }
+let algo =
+  {
+    Client_core.new_writer =
+      (fun ctx ~writer ->
+        assert (writer = 0);
+        let clock = ref Tstamp.initial in
+        fun ~payload ~k ->
+          Client_core.one_round_write ctx ~writer ~wid:0 ~payload ~clock
+            ~learn:false ~k);
+    new_reader =
+      (fun ctx ~reader -> fun ~k -> Client_core.two_round_read ctx ~reader ~k);
+  }
+
+type cluster = {
+  base : Cluster_base.t;
+  writers : Client_core.writer_fn array;
+  readers : Client_core.reader_fn array;
+}
 
 let create env =
   if Protocol.Env.w env <> 1 then
     invalid_arg "Abd_swmr.create: the single-writer protocol needs exactly 1 writer";
-  { base = Cluster_base.create env; clock = ref Tstamp.initial }
+  let base = Cluster_base.create env in
+  let ctx = Cluster_base.ctx base in
+  {
+    base;
+    writers = [| algo.Client_core.new_writer ctx ~writer:0 |];
+    readers =
+      Array.init (Protocol.Env.r env) (fun i ->
+          algo.Client_core.new_reader ctx ~reader:i);
+  }
 
 let control c = c.base.Cluster_base.ctl
 
-let write c ~writer ~value ~k =
-  assert (writer = 0);
-  Client_core.one_round_write c.base ~writer ~wid:0 ~payload:value ~clock:c.clock
-    ~learn:false ~k
+let write c ~writer ~value ~k = c.writers.(writer) ~payload:value ~k
 
-let read c ~reader ~k = Client_core.two_round_read c.base ~reader ~k
+let read c ~reader ~k = c.readers.(reader) ~k

@@ -38,48 +38,18 @@ let name = "adaptive read (W2R1.5)"
 (* Optimistically one round; the design point records the fast path. *)
 let design_point = Quorums.Bounds.W2R1
 
-type cluster = {
-  base : Cluster_base.t;
-  last_written : Wire.value ref array;
-  val_queues : Wire.value list ref array;
-  mutable fast_reads : int;
-  mutable slow_reads : int;
-}
-
-let create env =
-  let base = Cluster_base.create env in
-  {
-    base;
-    last_written =
-      Array.init (Env.w env) (fun _ -> ref Wire.initial_value_entry);
-    val_queues =
-      Array.init (Env.r env) (fun _ -> ref [ Wire.initial_value_entry ]);
-    fast_reads = 0;
-    slow_reads = 0;
-  }
-
-let control c = c.base.Cluster_base.ctl
-
-let fast_fraction c =
-  let total = c.fast_reads + c.slow_reads in
-  if total = 0 then 1.0 else float_of_int c.fast_reads /. float_of_int total
-
-let write c ~writer ~value ~k =
-  Client_core.two_round_write c.base ~writer ~payload:value
-    ~last_written:c.last_written.(writer) ~k
-
 (* Degrees whose certificate spans more than t servers: S − a·t > t. *)
 let safe_degrees ~s ~t =
   let rec go a acc = if s - (a * t) > t then go (a + 1) (a :: acc) else acc in
   List.rev (go 1 [])
 
-let read c ~reader ~k =
-  let base = c.base in
-  let ep = base.Cluster_base.reader_eps.(reader) in
-  let s = Cluster_base.s base in
-  let t = Cluster_base.tolerance base in
-  let val_queue = c.val_queues.(reader) in
-  Round_trip.exec ep (Wire.Query !val_queue) (fun replies ->
+(* The adaptive read over any backend.  [note] observes which path the
+   read took (`Fast or `Slow) — the cluster counts them. *)
+let read_core ?(note = fun _ -> ()) (ctx : Client_core.ctx) ~reader ~val_queue ~k =
+  let ep = ctx.Client_core.reader_ep reader in
+  let s = ctx.Client_core.s in
+  let t = ctx.Client_core.t in
+  ep.Client_core.exec (Wire.Query !val_queue) (fun replies ->
       let seen = Client_core.vector_values replies in
       let merged =
         List.fold_left
@@ -110,11 +80,68 @@ let read c ~reader ~k =
       in
       match certified with
       | Some v ->
-        c.fast_reads <- c.fast_reads + 1;
+        note `Fast;
         k v.Wire.payload (Some v.Wire.tag)
       | None ->
         (* Slow path: the ABD repair round. *)
-        c.slow_reads <- c.slow_reads + 1;
+        note `Slow;
         let maxv = Client_core.max_current replies in
-        Round_trip.exec ep (Wire.Update maxv) (fun _acks ->
+        ep.Client_core.exec (Wire.Update maxv) (fun _acks ->
             k maxv.Wire.payload (Some maxv.Wire.tag)))
+
+let new_writer ctx ~writer =
+  let last_written = ref Wire.initial_value_entry in
+  fun ~payload ~k ->
+    Client_core.two_round_write ctx ~writer ~payload ~last_written ~k
+
+let new_reader ?note ctx ~reader =
+  let val_queue = ref [ Wire.initial_value_entry ] in
+  fun ~k -> read_core ?note ctx ~reader ~val_queue ~k
+
+let algo =
+  {
+    Client_core.new_writer;
+    new_reader = (fun ctx ~reader -> new_reader ctx ~reader);
+  }
+
+type cluster = {
+  base : Cluster_base.t;
+  writers : Client_core.writer_fn array;
+  readers : Client_core.reader_fn array;
+  mutable fast_reads : int;
+  mutable slow_reads : int;
+}
+
+let create env =
+  let base = Cluster_base.create env in
+  let ctx = Cluster_base.ctx base in
+  let rec c =
+    lazy
+      {
+        base;
+        writers =
+          Array.init (Env.w env) (fun i -> new_writer ctx ~writer:i);
+        readers =
+          Array.init (Env.r env) (fun i ->
+              new_reader
+                ~note:(fun path ->
+                  let c = Lazy.force c in
+                  match path with
+                  | `Fast -> c.fast_reads <- c.fast_reads + 1
+                  | `Slow -> c.slow_reads <- c.slow_reads + 1)
+                ctx ~reader:i);
+        fast_reads = 0;
+        slow_reads = 0;
+      }
+  in
+  Lazy.force c
+
+let control c = c.base.Cluster_base.ctl
+
+let fast_fraction c =
+  let total = c.fast_reads + c.slow_reads in
+  if total = 0 then 1.0 else float_of_int c.fast_reads /. float_of_int total
+
+let write c ~writer ~value ~k = c.writers.(writer) ~payload:value ~k
+
+let read c ~reader ~k = c.readers.(reader) ~k

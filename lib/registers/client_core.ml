@@ -1,6 +1,18 @@
-open Protocol
-
 module Iset = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* The execution backend abstraction                                    *)
+(* ------------------------------------------------------------------ *)
+
+type endpoint = { exec : Wire.req -> ((int * Wire.rep) list -> unit) -> unit }
+
+type ctx = {
+  writer_ep : int -> endpoint;
+  reader_ep : int -> endpoint;
+  s : int;
+  t : int;
+  r : int;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Reply plumbing                                                      *)
@@ -105,21 +117,21 @@ let admissible ~s ~t ~value ~replies ~degree =
 
 let vector_values = all_values
 
-let two_round_write base ~writer ~payload ~last_written ~k =
-  let ep = base.Cluster_base.writer_eps.(writer) in
-  Round_trip.exec ep (Wire.Query [ !last_written ]) (fun replies ->
+let two_round_write ctx ~writer ~payload ~last_written ~k =
+  let ep = ctx.writer_ep writer in
+  ep.exec (Wire.Query [ !last_written ]) (fun replies ->
       let maxv = max_current replies in
       let tag = Tstamp.next maxv.Wire.tag ~wid:writer in
       let value = { Wire.tag; payload } in
       last_written := value;
-      Round_trip.exec ep (Wire.Update value) (fun _acks -> k (Some tag)))
+      ep.exec (Wire.Update value) (fun _acks -> k (Some tag)))
 
-let one_round_write base ~writer ~wid ~payload ~clock ~learn ~k =
-  let ep = base.Cluster_base.writer_eps.(writer) in
+let one_round_write ctx ~writer ~wid ~payload ~clock ~learn ~k =
+  let ep = ctx.writer_ep writer in
   let tag = Tstamp.next !clock ~wid in
   clock := tag;
   let value = { Wire.tag; payload } in
-  Round_trip.exec ep (Wire.Update value) (fun acks ->
+  ep.exec (Wire.Update value) (fun acks ->
       if learn then
         List.iter
           (fun (c : Wire.value) -> clock := Tstamp.max !clock c.Wire.tag)
@@ -130,16 +142,16 @@ let one_round_write base ~writer ~wid ~payload ~clock ~learn ~k =
 (* Readers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let two_round_read base ~reader ~k =
-  let ep = base.Cluster_base.reader_eps.(reader) in
-  Round_trip.exec ep (Wire.Query []) (fun replies ->
+let two_round_read ctx ~reader ~k =
+  let ep = ctx.reader_ep reader in
+  ep.exec (Wire.Query []) (fun replies ->
       let maxv = max_current replies in
-      Round_trip.exec ep (Wire.Update maxv) (fun _acks ->
+      ep.exec (Wire.Update maxv) (fun _acks ->
           k maxv.Wire.payload (Some maxv.Wire.tag)))
 
-let one_round_read_max base ~reader ~k =
-  let ep = base.Cluster_base.reader_eps.(reader) in
-  Round_trip.exec ep (Wire.Query []) (fun replies ->
+let one_round_read_max ctx ~reader ~k =
+  let ep = ctx.reader_ep reader in
+  ep.exec (Wire.Query []) (fun replies ->
       let maxv = max_current replies in
       k maxv.Wire.payload (Some maxv.Wire.tag))
 
@@ -151,12 +163,12 @@ type read_probe = {
   fallback : bool;
 }
 
-let fast_read ?probe base ~reader ~val_queue ~k =
-  let ep = base.Cluster_base.reader_eps.(reader) in
-  let s = Cluster_base.s base in
-  let t = Cluster_base.tolerance base in
-  let r = Cluster_base.readers base in
-  Round_trip.exec ep (Wire.Query !val_queue) (fun replies ->
+let fast_read ?probe ctx ~reader ~val_queue ~k =
+  let ep = ctx.reader_ep reader in
+  let s = ctx.s in
+  let t = ctx.t in
+  let r = ctx.r in
+  ep.exec (Wire.Query !val_queue) (fun replies ->
       (* Fold everything seen into the queue for the next read. *)
       let seen = all_values replies in
       let merged =
@@ -207,3 +219,16 @@ let fast_read ?probe base ~reader ~val_queue ~k =
           | None -> scan (skipped + 1) rest)
       in
       scan 0 seen)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-client algorithms, backend-agnostic                            *)
+(* ------------------------------------------------------------------ *)
+
+type writer_fn = payload:int -> k:(Checker.Mw_properties.tag option -> unit) -> unit
+
+type reader_fn = k:(int -> Checker.Mw_properties.tag option -> unit) -> unit
+
+type algo = {
+  new_writer : ctx -> writer:int -> writer_fn;
+  new_reader : ctx -> reader:int -> reader_fn;
+}

@@ -1,11 +1,34 @@
 (** Client-side building blocks shared by the register protocols.
 
-    Each function is one client algorithm expressed over
-    {!Protocol.Round_trip}: the two-round write of LS97/Algorithm 1, the
-    classic two-round read with write-back, the local-clock one-round
-    write used by the single-writer and naive protocols, the naive
-    one-round read, and the paper's one-round *fast read* built on the
-    [admissible] predicate of DGLV/Algorithm 1. *)
+    Each function is one client algorithm expressed over an abstract
+    {!endpoint} — "broadcast a request to all [S] servers and hand me any
+    [S − t] replies in arrival order" — so the *same algorithm body* runs
+    on two execution backends: the discrete-event simulator
+    ({!Cluster_base.ctx}, over {!Protocol.Round_trip}) and the live TCP
+    transport ([Transport.Cluster], over real sockets).  The algorithms:
+    the two-round write of LS97/Algorithm 1, the classic two-round read
+    with write-back, the local-clock one-round write used by the
+    single-writer and naive protocols, the naive one-round read, and the
+    paper's one-round *fast read* built on the [admissible] predicate of
+    DGLV/Algorithm 1. *)
+
+type endpoint = { exec : Wire.req -> ((int * Wire.rep) list -> unit) -> unit }
+(** One client's round-trip capability: [exec req k] broadcasts [req] to
+    all servers and calls [k replies] once a quorum of [(server_index,
+    reply)] pairs has arrived, in arrival order.  The continuation may
+    start another round trip (the two-round algorithms nest execs); on
+    the simulator it fires from the event loop, on the live transport it
+    runs in the calling client's thread. *)
+
+type ctx = {
+  writer_ep : int -> endpoint;  (** Endpoint of writer [i] (0-based). *)
+  reader_ep : int -> endpoint;  (** Endpoint of reader [j] (0-based). *)
+  s : int;  (** Number of servers. *)
+  t : int;  (** Crash tolerance (quorum = [s - t]). *)
+  r : int;  (** Number of readers (bounds the admissible degree). *)
+}
+(** Everything a client algorithm needs to know about the cluster it runs
+    against, independent of how messages actually move. *)
 
 val admissible :
   s:int ->
@@ -32,7 +55,7 @@ val vector_values : (int * Wire.rep) list -> Wire.value list
     first. *)
 
 val two_round_write :
-  Cluster_base.t ->
+  ctx ->
   writer:int ->
   payload:int ->
   last_written:Wire.value ref ->
@@ -45,7 +68,7 @@ val two_round_write :
     increasing timestamps (property MWA0). *)
 
 val one_round_write :
-  Cluster_base.t ->
+  ctx ->
   writer:int ->
   wid:int ->
   payload:int ->
@@ -61,7 +84,7 @@ val one_round_write :
     writer and [learn = false] this is exactly ABD'95's fast write. *)
 
 val two_round_read :
-  Cluster_base.t ->
+  ctx ->
   reader:int ->
   k:(int -> Checker.Mw_properties.tag option -> unit) ->
   unit
@@ -70,7 +93,7 @@ val two_round_read :
     before returning it (preventing new/old inversions). *)
 
 val one_round_read_max :
-  Cluster_base.t ->
+  ctx ->
   reader:int ->
   k:(int -> Checker.Mw_properties.tag option -> unit) ->
   unit
@@ -92,7 +115,7 @@ type read_probe = {
 
 val fast_read :
   ?probe:(read_probe -> unit) ->
-  Cluster_base.t ->
+  ctx ->
   reader:int ->
   val_queue:Wire.value list ref ->
   k:(int -> Checker.Mw_properties.tag option -> unit) ->
@@ -103,3 +126,21 @@ val fast_read :
     updated with everything seen, to be propagated by the next read.
     Termination: the queue's own maximum is always admissible with degree
     1 (Lemma 3), so the descending scan cannot fall off the end. *)
+
+type writer_fn = payload:int -> k:(Checker.Mw_properties.tag option -> unit) -> unit
+(** One writer's [write] operation, with its per-writer state already
+    closed over. *)
+
+type reader_fn = k:(int -> Checker.Mw_properties.tag option -> unit) -> unit
+(** One reader's [read] operation, with its per-reader state (e.g. the
+    valQueue) already closed over. *)
+
+type algo = {
+  new_writer : ctx -> writer:int -> writer_fn;
+  new_reader : ctx -> reader:int -> reader_fn;
+}
+(** A whole client-side protocol, backend-agnostic: instantiating
+    [new_writer]/[new_reader] allocates that client's private state
+    (local clock, last-written value, valQueue) and returns its
+    operation.  {!Registry.client_algo} names one per protocol; the
+    simulator clusters and the live transport both run exactly these. *)

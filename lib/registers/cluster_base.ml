@@ -39,6 +39,19 @@ let create (env : Env.t) =
   let ctl = Control.of_network net ~topology:topo in
   { env; net; replicas; writer_eps; reader_eps; ctl }
 
+(* Present the simulator endpoints as the backend-agnostic client
+   context, so the Client_core algorithms run unchanged on either the
+   discrete-event engine or the live TCP transport. *)
+let ctx t =
+  let wrap ep = { Client_core.exec = (fun req k -> Round_trip.exec ep req k) } in
+  {
+    Client_core.writer_ep = (fun i -> wrap t.writer_eps.(i));
+    reader_ep = (fun i -> wrap t.reader_eps.(i));
+    s = Env.s t.env;
+    t = Env.t_ t.env;
+    r = Env.r t.env;
+  }
+
 let writer_node t i = Topology.writer_node t.env.Env.topology i
 
 let reader_node t i = Topology.reader_node t.env.Env.topology i

@@ -22,6 +22,11 @@ type t = {
 
 val create : Env.t -> t
 
+val ctx : t -> Client_core.ctx
+(** The cluster's endpoints and parameters as the backend-agnostic client
+    context consumed by every {!Client_core} algorithm.  The live TCP
+    transport builds the same [ctx] from real sockets. *)
+
 val writer_node : t -> int -> int
 val reader_node : t -> int -> int
 

@@ -11,29 +11,42 @@ let name = "DGLV10 SW-fast"
 
 let design_point = Quorums.Bounds.W1R1
 
+let algo =
+  {
+    Client_core.new_writer =
+      (fun ctx ~writer ->
+        assert (writer = 0);
+        let clock = ref Tstamp.initial in
+        fun ~payload ~k ->
+          Client_core.one_round_write ctx ~writer ~wid:0 ~payload ~clock
+            ~learn:false ~k);
+    new_reader =
+      (fun ctx ~reader ->
+        let val_queue = ref [ Wire.initial_value_entry ] in
+        fun ~k -> Client_core.fast_read ctx ~reader ~val_queue ~k);
+  }
+
 type cluster = {
   base : Cluster_base.t;
-  clock : Tstamp.t ref;
-  val_queues : Wire.value list ref array;
+  writers : Client_core.writer_fn array;
+  readers : Client_core.reader_fn array;
 }
 
 let create env =
   if Protocol.Env.w env <> 1 then
     invalid_arg "Dglv_w1r1.create: the single-writer protocol needs exactly 1 writer";
   let base = Cluster_base.create env in
+  let ctx = Cluster_base.ctx base in
   {
     base;
-    clock = ref Tstamp.initial;
-    val_queues =
-      Array.init (Protocol.Env.r env) (fun _ -> ref [ Wire.initial_value_entry ]);
+    writers = [| algo.Client_core.new_writer ctx ~writer:0 |];
+    readers =
+      Array.init (Protocol.Env.r env) (fun i ->
+          algo.Client_core.new_reader ctx ~reader:i);
   }
 
 let control c = c.base.Cluster_base.ctl
 
-let write c ~writer ~value ~k =
-  assert (writer = 0);
-  Client_core.one_round_write c.base ~writer ~wid:0 ~payload:value ~clock:c.clock
-    ~learn:false ~k
+let write c ~writer ~value ~k = c.writers.(writer) ~payload:value ~k
 
-let read c ~reader ~k =
-  Client_core.fast_read c.base ~reader ~val_queue:c.val_queues.(reader) ~k
+let read c ~reader ~k = c.readers.(reader) ~k

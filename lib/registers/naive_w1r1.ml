@@ -11,19 +11,39 @@ let name = "naive fast-write/fast-read"
 
 let design_point = Quorums.Bounds.W1R1
 
+let algo =
+  {
+    Client_core.new_writer =
+      (fun ctx ~writer ->
+        let clock = ref Tstamp.initial in
+        fun ~payload ~k ->
+          Client_core.one_round_write ctx ~writer ~wid:writer ~payload ~clock
+            ~learn:true ~k);
+    new_reader =
+      (fun ctx ~reader -> fun ~k -> Client_core.one_round_read_max ctx ~reader ~k);
+  }
+
 type cluster = {
   base : Cluster_base.t;
-  clocks : Tstamp.t ref array;
+  writers : Client_core.writer_fn array;
+  readers : Client_core.reader_fn array;
 }
 
 let create env =
   let base = Cluster_base.create env in
-  { base; clocks = Array.init (Protocol.Env.w env) (fun _ -> ref Tstamp.initial) }
+  let ctx = Cluster_base.ctx base in
+  {
+    base;
+    writers =
+      Array.init (Protocol.Env.w env) (fun i ->
+          algo.Client_core.new_writer ctx ~writer:i);
+    readers =
+      Array.init (Protocol.Env.r env) (fun i ->
+          algo.Client_core.new_reader ctx ~reader:i);
+  }
 
 let control c = c.base.Cluster_base.ctl
 
-let write c ~writer ~value ~k =
-  Client_core.one_round_write c.base ~writer ~wid:writer ~payload:value
-    ~clock:c.clocks.(writer) ~learn:true ~k
+let write c ~writer ~value ~k = c.writers.(writer) ~payload:value ~k
 
-let read c ~reader ~k = Client_core.one_round_read_max c.base ~reader ~k
+let read c ~reader ~k = c.readers.(reader) ~k

@@ -4,6 +4,11 @@
 val name : string
 val design_point : Quorums.Bounds.design_point
 
+val algo : Client_core.algo
+(** The protocol's client algorithm, backend-agnostic: the simulator
+    cluster below and the live TCP transport both instantiate exactly
+    this. *)
+
 type cluster
 
 val create : Protocol.Env.t -> cluster

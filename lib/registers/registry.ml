@@ -14,9 +14,24 @@ let adaptive : Protocol.Register_intf.t = (module Adaptive_read)
 
 let slow_write_w3r1 : Protocol.Register_intf.t = (module Slow_write_w3r1)
 
-let all =
-  [ abd_mwmr; abd_swmr; fastread_w2r1; dglv_w1r1; naive_w1r2; naive_w1r1;
-    adaptive; slow_write_w3r1 ]
+(* The single source of truth: every protocol, its backend-agnostic
+   client algorithm, and its writer-count restriction.  Everything else
+   (the CLI, both benches, the live transport) derives from this row
+   set — add a protocol here and it shows up everywhere. *)
+let rows :
+    (Protocol.Register_intf.t * Client_core.algo * int option) list =
+  [
+    (abd_mwmr, Abd_mwmr.algo, None);
+    (abd_swmr, Abd_swmr.algo, Some 1);
+    (fastread_w2r1, Fastread_w2r1.algo, None);
+    (dglv_w1r1, Dglv_w1r1.algo, Some 1);
+    (naive_w1r2, Naive_w1r2.algo, None);
+    (naive_w1r1, Naive_w1r1.algo, None);
+    (adaptive, Adaptive_read.algo, None);
+    (slow_write_w3r1, Slow_write_w3r1.algo, None);
+  ]
+
+let all = List.map (fun (r, _, _) -> r) rows
 
 let multi_writer = [ abd_mwmr; naive_w1r2; fastread_w2r1; naive_w1r1 ]
 
@@ -28,7 +43,36 @@ let design_point (r : Protocol.Register_intf.t) =
   let module R = (val r) in
   R.design_point
 
+let row_of needle =
+  List.find_opt (fun (r, _, _) -> name r = name needle) rows
+
+let client_algo r =
+  match row_of r with
+  | Some (_, algo, _) -> algo
+  | None -> invalid_arg "Registry.client_algo: unregistered protocol"
+
+let max_writers r =
+  match row_of r with
+  | Some (_, _, mw) -> mw
+  | None -> invalid_arg "Registry.max_writers: unregistered protocol"
+
+(* Short design-point spellings and historical names accepted anywhere a
+   protocol is named (previously duplicated in bin/mwreg.ml). *)
+let aliases =
+  [
+    ("w2r2", "ls97"); ("ls97", "ls97 abd-mw"); ("w2r1", "huang");
+    ("huang", "huang et al. w2r1"); ("w1r2", "naive fast-write");
+    ("w1r1", "naive fast-write/fast-read"); ("swmr", "abd'95");
+    ("sw", "abd'95"); ("abd95", "abd'95"); ("dglv", "dglv10");
+    ("w3r1", "w3r1 (3-round write)"); ("semifast", "adaptive");
+  ]
+
 let find needle =
+  let needle =
+    match List.assoc_opt (String.lowercase_ascii needle) aliases with
+    | Some alias -> alias
+    | None -> needle
+  in
   let lower = String.lowercase_ascii needle in
   let contains hay =
     let hay = String.lowercase_ascii hay in

@@ -30,5 +30,17 @@ val multi_writer : Protocol.Register_intf.t list
 val name : Protocol.Register_intf.t -> string
 val design_point : Protocol.Register_intf.t -> Quorums.Bounds.design_point
 
+val client_algo : Protocol.Register_intf.t -> Client_core.algo
+(** The protocol's backend-agnostic client algorithm — the body that both
+    the simulator cluster and the live TCP transport execute.  Raises
+    [Invalid_argument] for a protocol not registered in {!all}. *)
+
+val max_writers : Protocol.Register_intf.t -> int option
+(** [Some 1] for the single-writer protocols ({!abd_swmr}, {!dglv_w1r1}),
+    [None] when any writer count is accepted. *)
+
 val find : string -> Protocol.Register_intf.t option
-(** Lookup by {!name} (case-insensitive substring match). *)
+(** Lookup by {!name}: case-insensitive substring match, after expanding
+    the design-point aliases ([w2r2], [w2r1], [w1r2], [w1r1], [ls97],
+    [huang], [swmr], [dglv], …).  This is the one name table — the CLI
+    and benches resolve protocols exclusively through it. *)

@@ -12,35 +12,49 @@ let name = "W3R1 (3-round write)"
 
 let design_point = Quorums.Bounds.W2R1 (* reads fast; writes ≥ 2 rounds *)
 
+let new_writer (ctx : Client_core.ctx) ~writer =
+  let ep = ctx.Client_core.writer_ep writer in
+  let last_written = ref Wire.initial_value_entry in
+  fun ~payload ~k ->
+    ep.Client_core.exec (Wire.Query [ !last_written ]) (fun replies ->
+        let maxv = Client_core.max_current replies in
+        let tag = Tstamp.next maxv.Wire.tag ~wid:writer in
+        let v = { Wire.tag; payload } in
+        last_written := v;
+        ep.Client_core.exec (Wire.Update v) (fun _ ->
+            (* The redundant third round: re-announce the same value. *)
+            ep.Client_core.exec (Wire.Update v) (fun _ -> k (Some tag))))
+
+let algo =
+  {
+    Client_core.new_writer;
+    new_reader =
+      (fun ctx ~reader ->
+        let val_queue = ref [ Wire.initial_value_entry ] in
+        fun ~k -> Client_core.fast_read ctx ~reader ~val_queue ~k);
+  }
+
 type cluster = {
   base : Cluster_base.t;
-  last_written : Wire.value ref array;
-  val_queues : Wire.value list ref array;
+  writers : Client_core.writer_fn array;
+  readers : Client_core.reader_fn array;
 }
 
 let create env =
   let base = Cluster_base.create env in
+  let ctx = Cluster_base.ctx base in
   {
     base;
-    last_written =
-      Array.init (Protocol.Env.w env) (fun _ -> ref Wire.initial_value_entry);
-    val_queues =
-      Array.init (Protocol.Env.r env) (fun _ -> ref [ Wire.initial_value_entry ]);
+    writers =
+      Array.init (Protocol.Env.w env) (fun i ->
+          algo.Client_core.new_writer ctx ~writer:i);
+    readers =
+      Array.init (Protocol.Env.r env) (fun i ->
+          algo.Client_core.new_reader ctx ~reader:i);
   }
 
 let control c = c.base.Cluster_base.ctl
 
-let write c ~writer ~value ~k =
-  let ep = c.base.Cluster_base.writer_eps.(writer) in
-  let last_written = c.last_written.(writer) in
-  Protocol.Round_trip.exec ep (Wire.Query [ !last_written ]) (fun replies ->
-      let maxv = Client_core.max_current replies in
-      let tag = Tstamp.next maxv.Wire.tag ~wid:writer in
-      let v = { Wire.tag; payload = value } in
-      last_written := v;
-      Protocol.Round_trip.exec ep (Wire.Update v) (fun _ ->
-          (* The redundant third round: re-announce the same value. *)
-          Protocol.Round_trip.exec ep (Wire.Update v) (fun _ -> k (Some tag))))
+let write c ~writer ~value ~k = c.writers.(writer) ~payload:value ~k
 
-let read c ~reader ~k =
-  Client_core.fast_read c.base ~reader ~val_queue:c.val_queues.(reader) ~k
+let read c ~reader ~k = c.readers.(reader) ~k

@@ -1,0 +1,104 @@
+open Registers
+
+type t = {
+  servers : Server.t option array; (* empty when attached to remote daemons *)
+  replicas : Replica.t array;
+  sockaddrs : Unix.sockaddr array;
+  s : int;
+  tol : int;
+}
+
+let start ~s ~tol () =
+  if s < 2 then invalid_arg "Cluster.start: need at least 2 servers";
+  if tol < 0 || tol >= s then invalid_arg "Cluster.start: need 0 <= tol < s";
+  let replicas = Array.init s (fun _ -> Replica.create ()) in
+  let servers =
+    Array.init s (fun i -> Some (Server.start ~id:i ~replica:replicas.(i) ()))
+  in
+  let sockaddrs =
+    Array.map
+      (function
+        | Some sv ->
+          Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port sv)
+        | None -> assert false)
+      servers
+  in
+  { servers; replicas; sockaddrs; s; tol }
+
+let connect ~addrs ~tol () =
+  let s = Array.length addrs in
+  if s < 2 then invalid_arg "Cluster.connect: need at least 2 servers";
+  if tol < 0 || tol >= s then invalid_arg "Cluster.connect: need 0 <= tol < s";
+  { servers = [||]; replicas = [||]; sockaddrs = addrs; s; tol }
+
+let local t = Array.length t.servers > 0
+
+let s t = t.s
+
+let tolerance t = t.tol
+
+let quorum t = t.s - t.tol
+
+let port t i =
+  match t.sockaddrs.(i) with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> invalid_arg "Cluster.port: not an inet address"
+
+let addrs t = Array.copy t.sockaddrs
+
+let replica t i =
+  if not (local t) then invalid_arg "Cluster.replica: remote cluster";
+  t.replicas.(i)
+
+let kill t i =
+  if not (local t) then invalid_arg "Cluster.kill: cannot kill remote servers";
+  match t.servers.(i) with
+  | None -> ()
+  | Some sv ->
+    t.servers.(i) <- None;
+    Server.stop sv
+
+let running t =
+  if not (local t) then List.init t.s Fun.id
+  else
+    Array.to_list t.servers
+    |> List.mapi (fun i sv -> (i, sv))
+    |> List.filter_map (fun (i, sv) -> Option.map (fun _ -> i) sv)
+
+let shutdown t =
+  if local t then Array.iteri (fun i _ -> kill t i) t.servers
+
+type clients = {
+  writer_eps : Endpoint.t array;
+  reader_eps : Endpoint.t array;
+  ctx : Client_core.ctx;
+}
+
+(* Client node ids follow Protocol.Topology's numbering (servers
+   0..S-1, writer i = S+i, reader j = S+W+j) so the updated sets the
+   replicas record — and therefore the admissibility certificates — are
+   identical across the simulated and live backends. *)
+let clients ?rt_timeout ?max_rt_retries t ~writers ~readers =
+  let addrs = addrs t in
+  let ep client =
+    Endpoint.create ?rt_timeout ?max_rt_retries ~client ~servers:addrs
+      ~quorum:(quorum t) ()
+  in
+  let writer_eps = Array.init writers (fun i -> ep (t.s + i)) in
+  let reader_eps = Array.init readers (fun j -> ep (t.s + writers + j)) in
+  {
+    writer_eps;
+    reader_eps;
+    ctx =
+      {
+        Client_core.writer_ep = (fun i -> Endpoint.endpoint writer_eps.(i));
+        reader_ep = (fun j -> Endpoint.endpoint reader_eps.(j));
+        s = t.s;
+        t = t.tol;
+        r = readers;
+      };
+  }
+
+let close_clients c =
+  Array.iter Endpoint.close c.writer_eps;
+  Array.iter Endpoint.close c.reader_eps

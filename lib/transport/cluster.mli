@@ -1,0 +1,65 @@
+(** An in-process loopback cluster: [S] register server daemons on
+    ephemeral 127.0.0.1 ports, for tests, benches and examples.
+
+    Servers can be {!kill}ed mid-run to exercise real crash behaviour:
+    as long as at most [tol] are down, client endpoints keep completing
+    operations on the surviving [S − tol] quorum. *)
+
+type t
+
+val start : s:int -> tol:int -> unit -> t
+(** Spawn [s] servers tolerating [tol] crashes (quorum [s − tol]). *)
+
+val connect : addrs:Unix.sockaddr array -> tol:int -> unit -> t
+(** Attach to already-running daemons (e.g. [mwreg serve] processes)
+    instead of spawning them.  {!kill} and {!replica} are unavailable on
+    such a cluster ([Invalid_argument]); everything client-side works the
+    same. *)
+
+val local : t -> bool
+(** [true] for {!start} clusters (in-process servers), [false] for
+    {!connect} ones. *)
+
+val s : t -> int
+val tolerance : t -> int
+val quorum : t -> int
+
+val port : t -> int -> int
+(** Bound port of server [i]. *)
+
+val addrs : t -> Unix.sockaddr array
+(** Dial addresses, indexed by server. *)
+
+val replica : t -> int -> Registers.Replica.t
+(** Server [i]'s state machine (inspection/tests). *)
+
+val kill : t -> int -> unit
+(** Crash server [i]: connections sever, its port stops answering.
+    Idempotent. *)
+
+val running : t -> int list
+(** Indices of servers still alive. *)
+
+val shutdown : t -> unit
+(** Kill everything. *)
+
+type clients = {
+  writer_eps : Endpoint.t array;
+  reader_eps : Endpoint.t array;
+  ctx : Registers.Client_core.ctx;
+}
+(** A set of live client endpoints plus the backend-agnostic context the
+    {!Registers.Client_core} algorithms consume.  The endpoint arrays
+    stay exposed for round-trip statistics. *)
+
+val clients :
+  ?rt_timeout:float ->
+  ?max_rt_retries:int ->
+  t ->
+  writers:int ->
+  readers:int ->
+  clients
+(** Endpoints for [writers] writers and [readers] readers, numbered like
+    {!Protocol.Topology} so live and simulated certificates agree. *)
+
+val close_clients : clients -> unit

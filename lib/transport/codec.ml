@@ -1,0 +1,205 @@
+open Registers
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Decode_error msg)) fmt
+
+type frame =
+  | Request of { rt : int; client : int; req : Wire.req }
+  | Reply of { rt : int; server : int; rep : Wire.rep }
+
+(* Hard ceilings so a corrupt or hostile peer cannot make us allocate
+   unboundedly.  Generous versus anything the protocols produce. *)
+let max_frame_len = 1 lsl 26 (* 64 MiB *)
+
+let max_list_len = 1 lsl 20
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_int b n = Buffer.add_int64_le b (Int64.of_int n)
+
+let add_value b (v : Wire.value) =
+  add_int b v.Wire.tag.Tstamp.ts;
+  add_int b v.Wire.tag.Tstamp.wid;
+  add_int b v.Wire.payload
+
+let add_list add b xs =
+  add_int b (List.length xs);
+  List.iter (add b) xs
+
+let add_req b = function
+  | Wire.Query vs ->
+    Buffer.add_char b '\000';
+    add_list add_value b vs
+  | Wire.Update v ->
+    Buffer.add_char b '\001';
+    add_value b v
+
+let add_rep b = function
+  | Wire.Read_ack { current; vector } ->
+    Buffer.add_char b '\000';
+    add_value b current;
+    add_list
+      (fun b (v, updated) ->
+        add_value b v;
+        add_list add_int b updated)
+      b vector
+  | Wire.Write_ack { current } ->
+    Buffer.add_char b '\001';
+    add_value b current
+
+let add_frame b = function
+  | Request { rt; client; req } ->
+    Buffer.add_char b '\000';
+    add_int b rt;
+    add_int b client;
+    add_req b req
+  | Reply { rt; server; rep } ->
+    Buffer.add_char b '\001';
+    add_int b rt;
+    add_int b server;
+    add_rep b rep
+
+let encode_body frame =
+  let b = Buffer.create 128 in
+  add_frame b frame;
+  Buffer.contents b
+
+let encode frame =
+  let body = encode_body frame in
+  let b = Buffer.create (4 + String.length body) in
+  Buffer.add_int32_be b (Int32.of_int (String.length body));
+  Buffer.add_string b body;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding (strict: every malformation is a [Decode_error])            *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then
+    fail "truncated frame: need %d bytes at offset %d of %d" n c.pos
+      (String.length c.data)
+
+let get_byte c =
+  need c 1;
+  let x = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  x
+
+let get_int c =
+  need c 8;
+  let x = Int64.to_int (String.get_int64_le c.data c.pos) in
+  c.pos <- c.pos + 8;
+  x
+
+let get_len c what =
+  let n = get_int c in
+  if n < 0 || n > max_list_len then fail "bad %s length %d" what n;
+  n
+
+let get_value c =
+  let ts = get_int c in
+  let wid = get_int c in
+  let payload = get_int c in
+  { Wire.tag = { Tstamp.ts; wid }; payload }
+
+let get_list get c what =
+  let n = get_len c what in
+  List.init n (fun _ -> get c)
+
+let get_req c =
+  match get_byte c with
+  | 0 -> Wire.Query (get_list get_value c "query vector")
+  | 1 -> Wire.Update (get_value c)
+  | b -> fail "unknown request tag %d" b
+
+let get_rep c =
+  match get_byte c with
+  | 0 ->
+    let current = get_value c in
+    let vector =
+      get_list
+        (fun c ->
+          let v = get_value c in
+          let updated = get_list get_int c "updated set" in
+          (v, updated))
+        c "value vector"
+    in
+    Wire.Read_ack { current; vector }
+  | 1 -> Wire.Write_ack { current = get_value c }
+  | b -> fail "unknown reply tag %d" b
+
+let get_frame c =
+  match get_byte c with
+  | 0 ->
+    let rt = get_int c in
+    let client = get_int c in
+    let req = get_req c in
+    Request { rt; client; req }
+  | 1 ->
+    let rt = get_int c in
+    let server = get_int c in
+    let rep = get_rep c in
+    Reply { rt; server; rep }
+  | b -> fail "unknown frame tag %d" b
+
+let decode_body body =
+  let c = { data = body; pos = 0 } in
+  let frame = get_frame c in
+  if c.pos <> String.length body then
+    fail "trailing garbage: %d of %d bytes consumed" c.pos (String.length body);
+  frame
+
+let decode s =
+  if String.length s < 4 then fail "short frame: no length prefix";
+  let n = Int32.to_int (String.get_int32_be s 0) in
+  if n < 0 || n > max_frame_len then fail "bad frame length %d" n;
+  if String.length s <> 4 + n then
+    fail "frame length mismatch: prefix says %d, got %d" n (String.length s - 4);
+  decode_body (String.sub s 4 n)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental reassembly over a byte stream                            *)
+(* ------------------------------------------------------------------ *)
+
+module Stream = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0 }
+
+  let feed t src n =
+    if n > 0 then begin
+      let needed = t.len + n in
+      if needed > Bytes.length t.buf then begin
+        let cap = ref (Bytes.length t.buf) in
+        while !cap < needed do
+          cap := !cap * 2
+        done;
+        let buf = Bytes.create !cap in
+        Bytes.blit t.buf 0 buf 0 t.len;
+        t.buf <- buf
+      end;
+      Bytes.blit src 0 t.buf t.len n;
+      t.len <- t.len + n
+    end
+
+  let next t =
+    if t.len < 4 then None
+    else begin
+      let n = Int32.to_int (Bytes.get_int32_be t.buf 0) in
+      if n < 0 || n > max_frame_len then fail "bad frame length %d" n;
+      if t.len < 4 + n then None
+      else begin
+        let body = Bytes.sub_string t.buf 4 n in
+        let rest = t.len - 4 - n in
+        Bytes.blit t.buf (4 + n) t.buf 0 rest;
+        t.len <- rest;
+        Some (decode_body body)
+      end
+    end
+end

@@ -1,0 +1,50 @@
+(** Length-prefixed binary codec for the register wire protocol.
+
+    One frame = a 4-byte big-endian body length followed by the body: a
+    tag byte ([Request]/[Reply]), the round-trip id and the client or
+    server index, then the {!Registers.Wire.req} or {!Registers.Wire.rep}
+    payload — including the full value vector of a READACK, each value
+    with its [updated] client set.  Integers travel as 8-byte
+    little-endian two's-complement.
+
+    Decoding is strict: short input, bad tags, negative or oversized
+    lengths, and trailing bytes all raise {!Decode_error} — a TCP peer
+    speaking anything else is disconnected rather than misread. *)
+
+exception Decode_error of string
+
+type frame =
+  | Request of { rt : int; client : int; req : Registers.Wire.req }
+  | Reply of { rt : int; server : int; rep : Registers.Wire.rep }
+
+val max_frame_len : int
+(** Largest accepted body, in bytes (corrupt-length guard). *)
+
+val encode : frame -> string
+(** The full wire bytes: length prefix + body. *)
+
+val encode_body : frame -> string
+(** The body alone, without the length prefix. *)
+
+val decode : string -> frame
+(** Inverse of {!encode} on exactly one whole frame.
+    @raise Decode_error on any malformation, including trailing bytes. *)
+
+val decode_body : string -> frame
+(** Inverse of {!encode_body}.
+    @raise Decode_error on any malformation. *)
+
+(** Reassembles frames from an arbitrarily-chunked byte stream (TCP reads
+    need not align with frame boundaries). *)
+module Stream : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> int -> unit
+  (** [feed t buf n] appends the first [n] bytes of [buf]. *)
+
+  val next : t -> frame option
+  (** The next complete frame, if one has fully arrived.
+      @raise Decode_error if the buffered data is malformed. *)
+end

@@ -1,0 +1,238 @@
+open Registers
+
+exception Unavailable of string
+
+type conn = {
+  addr : Unix.sockaddr;
+  mutable fd : Unix.file_descr option;
+  mutable stream : Codec.Stream.t;
+  mutable attempts : int; (* consecutive failed connects *)
+  mutable next_attempt : float; (* wall-clock gate for the next connect *)
+}
+
+type t = {
+  client : int;
+  conns : conn array;
+  quorum : int;
+  rt_timeout : float;
+  max_rt_retries : int;
+  connect_retries : int;
+  connect_backoff : float;
+  mutable next_rt : int;
+  mutable started : int;
+  mutable completed : int;
+  mutable late : int;
+  read_buf : Bytes.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* A server crashing mid-write must surface as EPIPE on that write, not
+   kill the client process. *)
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
+let drop c =
+  (match c.fd with
+  | Some fd -> ( try Unix.close fd with _ -> ())
+  | None -> ());
+  c.fd <- None;
+  c.stream <- Codec.Stream.create ()
+
+(* Bounded, exponentially backed-off reconnect.  Loopback connects to a
+   dead port fail fast (ECONNREFUSED), so killed servers cost little. *)
+let try_connect t c =
+  match c.fd with
+  | Some fd -> Some fd
+  | None ->
+    if c.attempts > t.connect_retries || now () < c.next_attempt then None
+    else begin
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.connect fd c.addr;
+        Unix.setsockopt fd Unix.TCP_NODELAY true
+      with
+      | () ->
+        c.fd <- Some fd;
+        c.stream <- Codec.Stream.create ();
+        c.attempts <- 0;
+        Some fd
+      | exception _ ->
+        (try Unix.close fd with _ -> ());
+        c.attempts <- c.attempts + 1;
+        c.next_attempt <-
+          now () +. (t.connect_backoff *. float_of_int (1 lsl min c.attempts 6));
+        None
+    end
+
+let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
+    ?(connect_backoff = 0.02) ~client ~servers ~quorum () =
+  Lazy.force ignore_sigpipe;
+  let n = Array.length servers in
+  if quorum <= 0 || quorum > n then
+    invalid_arg "Endpoint.create: quorum out of range";
+  let t =
+    {
+      client;
+      conns =
+        Array.map
+          (fun addr ->
+            {
+              addr;
+              fd = None;
+              stream = Codec.Stream.create ();
+              attempts = 0;
+              next_attempt = 0.0;
+            })
+          servers;
+      quorum;
+      rt_timeout;
+      max_rt_retries;
+      connect_retries;
+      connect_backoff;
+      next_rt = 0;
+      started = 0;
+      completed = 0;
+      late = 0;
+      read_buf = Bytes.create 65536;
+    }
+  in
+  (* Optimistic first dial; failures just leave the conn in backoff. *)
+  Array.iter (fun c -> ignore (try_connect t c)) t.conns;
+  t
+
+let send_frame c frame =
+  match c.fd with
+  | None -> false
+  | Some fd -> (
+    let s = Codec.encode frame in
+    let b = Bytes.unsafe_of_string s in
+    let len = Bytes.length b in
+    try
+      let sent = ref 0 in
+      while !sent < len do
+        sent := !sent + Unix.write fd b !sent (len - !sent)
+      done;
+      true
+    with _ ->
+      drop c;
+      false)
+
+(* The round-trip contract of the model (§2.1): send to all S servers,
+   complete on the first S − t replies in arrival order, count whatever
+   arrives afterwards as late.  One endpoint serves one client thread;
+   operations are sequential per client, so a single in-flight rt
+   suffices. *)
+let exec t req k =
+  let rt = t.next_rt in
+  t.next_rt <- rt + 1;
+  t.started <- t.started + 1;
+  let n = Array.length t.conns in
+  let replied = Array.make n false in
+  let sent = Array.make n false in
+  let replies = ref [] in
+  let nreplies = ref 0 in
+  let frame = Codec.Request { rt; client = t.client; req } in
+  let handle_frame i = function
+    | Codec.Request _ ->
+      (* Servers never send requests; treat as a broken peer. *)
+      drop t.conns.(i)
+    | Codec.Reply { rt = rt'; server = _; rep } ->
+      if rt' = rt && not replied.(i) then begin
+        replied.(i) <- true;
+        (* Label replies with the connection's server index — it is
+           authoritative, unlike the peer-reported field. *)
+        replies := (i, rep) :: !replies;
+        incr nreplies
+      end
+      else t.late <- t.late + 1
+  in
+  let broadcast () =
+    Array.iteri
+      (fun i c ->
+        if (not replied.(i)) && not sent.(i) then
+          match try_connect t c with
+          | None -> ()
+          | Some _ -> sent.(i) <- send_frame c frame)
+      t.conns
+  in
+  let read_ready fds =
+    Array.iteri
+      (fun i c ->
+        match c.fd with
+        | Some fd when List.memq fd fds -> (
+          match Unix.read fd t.read_buf 0 (Bytes.length t.read_buf) with
+          | 0 -> drop c
+          | nread -> (
+            Codec.Stream.feed c.stream t.read_buf nread;
+            try
+              let rec drain () =
+                match Codec.Stream.next c.stream with
+                | Some f ->
+                  handle_frame i f;
+                  drain ()
+                | None -> ()
+              in
+              drain ()
+            with Codec.Decode_error _ -> drop c)
+          | exception _ -> drop c)
+        | _ -> ())
+      t.conns
+  in
+  let attempt = ref 0 in
+  broadcast ();
+  let deadline = ref (now () +. t.rt_timeout) in
+  let give_up = ref false in
+  while !nreplies < t.quorum && not !give_up do
+    let remaining = !deadline -. now () in
+    if remaining <= 0.0 then begin
+      (* Round-trip timed out: re-broadcast to the servers that have not
+         replied (reconnecting if their link dropped), bounded. *)
+      if !attempt >= t.max_rt_retries then give_up := true
+      else begin
+        incr attempt;
+        Array.fill sent 0 n false;
+        broadcast ();
+        deadline := now () +. t.rt_timeout
+      end
+    end
+    else begin
+      (* Keep nudging reconnects whose backoff gate has opened. *)
+      broadcast ();
+      let live =
+        Array.to_list t.conns
+        |> List.filter_map (fun c -> c.fd)
+      in
+      if live = [] then Thread.delay (min 0.01 remaining)
+      else
+        match Unix.select live [] [] (min remaining 0.05) with
+        | [], _, _ -> ()
+        | fds, _, _ -> read_ready fds
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+          (* A connection died between listing and selecting. *)
+          ()
+    end
+  done;
+  if !nreplies >= t.quorum then begin
+    t.completed <- t.completed + 1;
+    k (List.rev !replies)
+  end
+  else
+    raise
+      (Unavailable
+         (Printf.sprintf
+            "client %d: %d/%d replies after %d attempts of %.3fs" t.client
+            !nreplies t.quorum (!attempt + 1) t.rt_timeout))
+
+let endpoint t = { Client_core.exec = (fun req k -> exec t req k) }
+
+let rounds_started t = t.started
+
+let rounds_completed t = t.completed
+
+let late_replies t = t.late
+
+let close t = Array.iter drop t.conns

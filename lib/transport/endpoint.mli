@@ -1,0 +1,61 @@
+(** A live client endpoint: the simulator's {!Protocol.Round_trip}
+    contract over real TCP sockets.
+
+    [exec] broadcasts a request to all [S] servers and completes on the
+    first [S − t] replies *in arrival order*; replies that arrive after
+    completion are counted late, exactly like the simulated endpoint.
+    Each round trip has a timeout; on expiry the request is re-broadcast
+    to the servers still missing (reconnecting dropped links) a bounded
+    number of times before {!Unavailable} is raised.  Connect failures
+    back off exponentially and give up after a bounded number of
+    consecutive attempts, so crashed servers cost a vanishing amount of
+    effort — [t] real process kills are survivable as long as [S − t]
+    servers keep answering.
+
+    One endpoint belongs to one client thread; operations are issued
+    sequentially (the CPS algorithms nest their rounds), so there is at
+    most one round trip in flight per endpoint. *)
+
+exception Unavailable of string
+(** Raised by [exec] when no quorum answered within the retry budget. *)
+
+type t
+
+val create :
+  ?rt_timeout:float ->
+  ?max_rt_retries:int ->
+  ?connect_retries:int ->
+  ?connect_backoff:float ->
+  client:int ->
+  servers:Unix.sockaddr array ->
+  quorum:int ->
+  unit ->
+  t
+(** [create ~client ~servers ~quorum ()] dials every server (tolerating
+    failures) and returns the endpoint.  [client] is this client's node
+    id as recorded in the servers' [updated] sets — use the same
+    numbering as {!Protocol.Topology} (writer [i] ↦ [S + i], reader [j] ↦
+    [S + W + j]) so live and simulated certificates agree.
+    [rt_timeout] (default 1s) bounds each round trip; [max_rt_retries]
+    (default 3) bounds re-broadcasts; [connect_retries]/[connect_backoff]
+    bound reconnect attempts per server. *)
+
+val exec : t -> Registers.Wire.req -> ((int * Registers.Wire.rep) list -> unit) -> unit
+(** One round trip.  The continuation receives [(server_index, reply)]
+    pairs in arrival order and runs in the calling thread.
+    @raise Unavailable when fewer than [quorum] servers answered. *)
+
+val endpoint : t -> Registers.Client_core.endpoint
+(** The endpoint as the backend-agnostic capability consumed by the
+    {!Registers.Client_core} algorithms. *)
+
+val rounds_started : t -> int
+val rounds_completed : t -> int
+
+val late_replies : t -> int
+(** Replies that arrived after their round trip had already completed —
+    the live analogue of the simulator's late-message count. *)
+
+val close : t -> unit
+(** Drop every connection.  The endpoint may be used again (it will
+    redial), but [close] is normally terminal. *)

@@ -1,0 +1,139 @@
+open Registers
+
+type t = {
+  id : int;
+  listen_fd : Unix.file_descr;
+  port : int;
+  replica : Replica.t;
+  replica_lock : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  conns_lock : Mutex.t;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+  mutable handlers : Thread.t list;
+}
+
+(* A peer closing its socket mid-write must surface as EPIPE on that
+   write, not kill the whole process. *)
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
+let port t = t.port
+
+let replica t = t.replica
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+let remove_conn t fd =
+  Mutex.protect t.conns_lock (fun () ->
+      t.conns <- List.filter (fun c -> c != fd) t.conns)
+
+(* One thread per client connection: decode requests, run them through
+   the replica state machine (serialized — the full-info model's server
+   processes one message at a time), reply on the same connection. *)
+let handle_conn t fd =
+  let stream = Codec.Stream.create () in
+  let buf = Bytes.create 65536 in
+  (try
+     let stop = ref false in
+     while not !stop do
+       let n = Unix.read fd buf 0 (Bytes.length buf) in
+       if n = 0 then stop := true
+       else begin
+         Codec.Stream.feed stream buf n;
+         let rec drain () =
+           match Codec.Stream.next stream with
+           | None -> ()
+           | Some (Codec.Reply _) ->
+             (* Only clients speak replies; a confused peer is cut off. *)
+             stop := true
+           | Some (Codec.Request { rt; client; req }) ->
+             let rep =
+               Mutex.protect t.replica_lock (fun () ->
+                   Replica.handle t.replica ~client req)
+             in
+             write_all fd (Codec.encode (Codec.Reply { rt; server = t.id; rep }));
+             drain ()
+         in
+         drain ()
+       end
+     done
+   with _ -> ());
+  remove_conn t fd;
+  try Unix.close fd with _ -> ()
+
+let accept_loop t =
+  while not t.stopping do
+    (* Select with a timeout so [stop] wins even with no inbound
+       connections; an actual connect wakes us immediately. *)
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ when t.stopping -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept t.listen_fd with
+      | exception _ -> ()
+      | fd, _ ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+        Mutex.protect t.conns_lock (fun () -> t.conns <- fd :: t.conns);
+        let th = Thread.create (handle_conn t) fd in
+        t.handlers <- th :: t.handlers)
+  done;
+  try Unix.close t.listen_fd with _ -> ()
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?(id = 0) ~replica () =
+  Lazy.force ignore_sigpipe;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind fd addr
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let t =
+    {
+      id;
+      listen_fd = fd;
+      port;
+      replica;
+      replica_lock = Mutex.create ();
+      conns = [];
+      conns_lock = Mutex.create ();
+      stopping = false;
+      accept_thread = None;
+      handlers = [];
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (* Handlers wake from [read] with EOF once their socket is shut
+       down, then close their own fd and exit. *)
+    let conns = Mutex.protect t.conns_lock (fun () -> t.conns) in
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+      conns;
+    (match t.accept_thread with
+    | Some th ->
+      Thread.join th;
+      t.accept_thread <- None
+    | None -> ());
+    List.iter Thread.join t.handlers;
+    t.handlers <- []
+  end

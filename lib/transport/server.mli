@@ -1,0 +1,37 @@
+(** A register server daemon: one {!Registers.Replica} behind a TCP
+    listen socket.
+
+    The daemon hosts exactly the replica state machine the simulator
+    uses — [current] value plus the full-information value vector with
+    [updated] sets — and answers Query/Update requests per the paper's
+    server algorithm (Algorithm 2).  One handler thread per client
+    connection; replica access is serialized, matching the model's
+    one-message-at-a-time servers.
+
+    Servers never talk to each other (the model's communication
+    restriction is structural here: nothing ever dials out). *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?id:int ->
+  replica:Registers.Replica.t ->
+  unit ->
+  t
+(** Bind [host:port] (default [127.0.0.1:0] — port 0 picks an ephemeral
+    port, see {!port}) and serve until {!stop}.  [id] is the server's
+    index, echoed in every reply so clients can attribute messages. *)
+
+val port : t -> int
+(** The actual bound port. *)
+
+val replica : t -> Registers.Replica.t
+(** The hosted state machine (inspection/tests). *)
+
+val stop : t -> unit
+(** Crash the server: stop accepting, sever every client connection,
+    join all threads.  Clients observe EOF/ECONNREFUSED — exactly the
+    crash failures the [t]-tolerant quorum logic must survive.
+    Idempotent. *)

@@ -1,0 +1,140 @@
+open Histories
+open Registers
+
+type spec = {
+  writers : int;
+  readers : int;
+  writes_per_writer : int;
+  reads_per_reader : int;
+  write_think : float;
+  read_think : float;
+}
+
+let default_spec =
+  {
+    writers = 2;
+    readers = 2;
+    writes_per_writer = 20;
+    reads_per_reader = 40;
+    write_think = 0.0;
+    read_think = 0.0;
+  }
+
+type result = {
+  history : History.t;
+  duration : float;
+  write_rounds : float;
+  read_rounds : float;
+  late : int;
+  unavailable : int;
+  killed : int list;
+}
+
+let mean_rounds eps ops =
+  let rounds =
+    Array.fold_left (fun acc ep -> acc + Endpoint.rounds_completed ep) 0 eps
+  in
+  if ops = 0 then 0.0 else float_of_int rounds /. float_of_int ops
+
+let run ?(kill_at = []) ?rt_timeout ?max_rt_retries ~register ~cluster spec =
+  (match Registry.max_writers register with
+  | Some m when spec.writers > m ->
+    invalid_arg
+      (Printf.sprintf "Session.run: %s accepts at most %d writer(s)"
+         (Registry.name register) m)
+  | _ -> ());
+  let algo = Registry.client_algo register in
+  let cl =
+    Cluster.clients ?rt_timeout ?max_rt_retries cluster ~writers:spec.writers
+      ~readers:spec.readers
+  in
+  let recorder = Recorder.create () in
+  let rec_lock = Mutex.create () in
+  let unavailable = ref 0 in
+  let una_lock = Mutex.create () in
+  let t0 = Unix.gettimeofday () in
+  let now () = Unix.gettimeofday () -. t0 in
+  let writes_done = ref 0 in
+  let reads_done = ref 0 in
+  (* One OS thread per client, mirroring one plan per client in the
+     simulator.  The recorder is shared, hence the lock; operations
+     themselves run lock-free through the endpoints. *)
+  let writer_body i () =
+    let write = algo.Client_core.new_writer cl.Cluster.ctx ~writer:i in
+    (try
+       for _ = 1 to spec.writes_per_writer do
+         let value, h =
+           Mutex.protect rec_lock (fun () ->
+               let value = Recorder.fresh_value recorder in
+               ( value,
+                 Recorder.begin_write recorder ~proc:(Op.Writer i) ~value
+                   ~now:(now ()) ))
+         in
+         write ~payload:value ~k:(fun _tag ->
+             Mutex.protect rec_lock (fun () ->
+                 incr writes_done;
+                 Recorder.finish_write recorder h ~now:(now ())));
+         if spec.write_think > 0.0 then Thread.delay spec.write_think
+       done
+     with Endpoint.Unavailable _ ->
+       Mutex.protect una_lock (fun () -> incr unavailable));
+    Endpoint.close cl.Cluster.writer_eps.(i)
+  in
+  let reader_body j () =
+    let read = algo.Client_core.new_reader cl.Cluster.ctx ~reader:j in
+    (try
+       for _ = 1 to spec.reads_per_reader do
+         let h =
+           Mutex.protect rec_lock (fun () ->
+               Recorder.begin_read recorder ~proc:(Op.Reader j) ~now:(now ()))
+         in
+         read ~k:(fun value _tag ->
+             Mutex.protect rec_lock (fun () ->
+                 incr reads_done;
+                 Recorder.finish_read recorder h ~now:(now ()) ~result:value));
+         if spec.read_think > 0.0 then Thread.delay spec.read_think
+       done
+     with Endpoint.Unavailable _ ->
+       Mutex.protect una_lock (fun () -> incr unavailable));
+    Endpoint.close cl.Cluster.reader_eps.(j)
+  in
+  let killer =
+    match kill_at with
+    | [] -> None
+    | plan ->
+      Some
+        (Thread.create
+           (fun () ->
+             List.iter
+               (fun (at, idx) ->
+                 let wait = at -. now () in
+                 if wait > 0.0 then Thread.delay wait;
+                 Cluster.kill cluster idx)
+               (List.sort compare plan))
+           ())
+  in
+  let threads =
+    List.init spec.writers (fun i -> Thread.create (writer_body i) ())
+    @ List.init spec.readers (fun j -> Thread.create (reader_body j) ())
+  in
+  List.iter Thread.join threads;
+  (match killer with Some th -> Thread.join th | None -> ());
+  let duration = now () in
+  let late =
+    Array.fold_left
+      (fun acc ep -> acc + Endpoint.late_replies ep)
+      0
+      (Array.append cl.Cluster.writer_eps cl.Cluster.reader_eps)
+  in
+  {
+    history = Recorder.snapshot recorder;
+    duration;
+    write_rounds = mean_rounds cl.Cluster.writer_eps !writes_done;
+    read_rounds = mean_rounds cl.Cluster.reader_eps !reads_done;
+    late;
+    unavailable = !unavailable;
+    killed =
+      List.filter
+        (fun i -> not (List.mem i (Cluster.running cluster)))
+        (List.init (Cluster.s cluster) Fun.id);
+  }

@@ -1,0 +1,50 @@
+(** Drive a register protocol over a live {!Cluster} and record the
+    resulting history.
+
+    The live analogue of {!Protocol.Runtime.run}: one OS thread per
+    client runs the protocol's {!Registers.Client_core.algo} against real
+    sockets, every operation is recorded with wall-clock timestamps, and
+    the finished history feeds the very same atomicity checkers as the
+    simulated runs — the live backend cross-checks the simulator and
+    vice versa. *)
+
+type spec = {
+  writers : int;
+  readers : int;
+  writes_per_writer : int;
+  reads_per_reader : int;
+  write_think : float;  (** Seconds between a writer's operations. *)
+  read_think : float;   (** Seconds between a reader's operations. *)
+}
+
+val default_spec : spec
+(** 2×2 clients, 20 writes / 40 reads each, no think time. *)
+
+type result = {
+  history : Histories.History.t;
+      (** Wall-clock-timestamped, checker-ready. *)
+  duration : float;  (** Seconds from first invocation to last response. *)
+  write_rounds : float;
+      (** Mean round trips per completed write — 2.0 for the two-round
+          writers, 1.0 for the fast ones (the paper's Table 1 column,
+          measured on real sockets). *)
+  read_rounds : float;  (** Mean round trips per completed read. *)
+  late : int;  (** Replies arriving after their round trip completed. *)
+  unavailable : int;
+      (** Clients that aborted because no quorum answered (0 whenever at
+          most [tol] servers were killed). *)
+  killed : int list;  (** Servers down by the end of the run. *)
+}
+
+val run :
+  ?kill_at:(float * int) list ->
+  ?rt_timeout:float ->
+  ?max_rt_retries:int ->
+  register:Protocol.Register_intf.t ->
+  cluster:Cluster.t ->
+  spec ->
+  result
+(** Run [spec] against [cluster] with [register]'s client algorithm.
+    [kill_at] schedules real crashes: [(secs, server)] kills [server]
+    that many seconds into the run.  Raises [Invalid_argument] if [spec]
+    exceeds the protocol's writer bound ({!Registers.Registry.max_writers}). *)

@@ -1,0 +1,421 @@
+(* Tests for the live TCP transport: the wire codec (round-trip and
+   strictness), stream reassembly under adversarial chunking, a real
+   loopback server, and full live cluster runs — including surviving [t]
+   genuine server kills mid-run with the history still atomic. *)
+
+open Registers
+open Transport
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let tag ts wid = { Tstamp.ts; wid }
+let value ts wid payload = { Wire.tag = tag ts wid; payload }
+
+(* ------------------------------------------------------------------ *)
+(* Codec: deterministic round trips                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sample_frames =
+  [
+    Codec.Request { rt = 0; client = 0; req = Wire.Query [] };
+    Codec.Request
+      { rt = 1; client = 7; req = Wire.Query [ Wire.initial_value_entry ] };
+    Codec.Request
+      {
+        rt = max_int;
+        client = 3;
+        req = Wire.Update (value max_int 11 min_int);
+      };
+    Codec.Reply
+      { rt = 42; server = 4; rep = Wire.Write_ack { current = value 5 1 500 } };
+    Codec.Reply
+      {
+        rt = 9;
+        server = 0;
+        rep =
+          Wire.Read_ack
+            {
+              current = value 3 2 303;
+              vector =
+                [
+                  (Wire.initial_value_entry, [ 10; 11; 12 ]);
+                  (value 1 0 101, []);
+                  (value 3 2 303, [ 13 ]);
+                ];
+            };
+      };
+  ]
+
+let test_codec_roundtrip_samples () =
+  List.iter
+    (fun f ->
+      check bool "decode (encode f) = f" true (Codec.decode (Codec.encode f) = f);
+      check bool "body round trip" true
+        (Codec.decode_body (Codec.encode_body f) = f))
+    sample_frames
+
+let test_codec_large_vector () =
+  (* A READACK carrying a big value vector with fat updated sets — the
+     frame the codec must not choke on. *)
+  let vector =
+    List.init 5_000 (fun i ->
+        (value i (i mod 5) (i * 17), List.init (i mod 20) (fun j -> j + 100)))
+  in
+  let f =
+    Codec.Reply
+      { rt = 1; server = 2; rep = Wire.Read_ack { current = value 5_000 0 1; vector } }
+  in
+  let s = Codec.encode f in
+  check bool "large frame survives" true (Codec.decode s = f);
+  let q =
+    Codec.Request
+      { rt = 2; client = 9; req = Wire.Query (List.map fst vector) }
+  in
+  check bool "large query survives" true (Codec.decode (Codec.encode q) = q)
+
+(* ------------------------------------------------------------------ *)
+(* Codec: strictness                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rejects s =
+  match Codec.decode s with
+  | _ -> false
+  | exception Codec.Decode_error _ -> true
+
+let test_codec_rejects_truncation () =
+  let full = Codec.encode (List.nth sample_frames 4) in
+  for cut = 0 to String.length full - 1 do
+    if not (rejects (String.sub full 0 cut)) then
+      Alcotest.failf "truncation to %d bytes accepted" cut
+  done
+
+let test_codec_rejects_garbage () =
+  let full = Codec.encode (List.hd sample_frames) in
+  check bool "trailing byte" true (rejects (full ^ "\x00"));
+  check bool "bad tag" true
+    (rejects
+       (let b = Bytes.of_string full in
+        Bytes.set b 4 '\xff';
+        Bytes.to_string b));
+  check bool "absurd length prefix" true
+    (rejects ("\xff\xff\xff\xff" ^ String.make 8 'x'));
+  check bool "negative list length" true
+    (* Request/Query with length -1. *)
+    (rejects (Codec.encode (Codec.Request { rt = 0; client = 0; req = Wire.Query [] })
+              |> fun s ->
+              let b = Bytes.of_string s in
+              Bytes.fill b (String.length s - 8) 8 '\xff';
+              Bytes.to_string b))
+
+(* ------------------------------------------------------------------ *)
+(* Codec: qcheck round trip                                             *)
+(* ------------------------------------------------------------------ *)
+
+let frame_gen =
+  let open QCheck.Gen in
+  let any_int =
+    frequency
+      [ (4, small_signed_int); (2, int); (1, return max_int); (1, return min_int) ]
+  in
+  let tag_gen =
+    let* ts = frequency [ (4, small_nat); (1, int) ] in
+    let* wid = int_range (-1) 10 in
+    return { Tstamp.ts; wid }
+  in
+  let value_gen =
+    let* tag = tag_gen in
+    let* payload = any_int in
+    return { Wire.tag; payload }
+  in
+  let req_gen =
+    frequency
+      [
+        (2, map (fun vs -> Wire.Query vs) (list_size (int_bound 12) value_gen));
+        (2, map (fun v -> Wire.Update v) value_gen);
+      ]
+  in
+  let rep_gen =
+    frequency
+      [
+        (1, map (fun v -> Wire.Write_ack { current = v }) value_gen);
+        ( 2,
+          let* current = value_gen in
+          let* vector =
+            list_size (int_bound 12)
+              (pair value_gen (list_size (int_bound 6) small_nat))
+          in
+          return (Wire.Read_ack { current; vector }) );
+      ]
+  in
+  let* rt = small_nat and* peer = int_bound 1000 in
+  frequency
+    [
+      (1, map (fun req -> Codec.Request { rt; client = peer; req }) req_gen);
+      (1, map (fun rep -> Codec.Reply { rt; server = peer; rep }) rep_gen);
+    ]
+
+let frame_print f =
+  match f with
+  | Codec.Request { rt; client; req } ->
+    Format.asprintf "req rt=%d client=%d %a" rt client Wire.pp_req req
+  | Codec.Reply { rt; server; rep } ->
+    Format.asprintf "rep rt=%d server=%d %a" rt server Wire.pp_rep rep
+
+let codec_roundtrip_prop =
+  QCheck.Test.make
+    ~name:"codec round trip: decode (encode f) = f"
+    ~count:500
+    (QCheck.make ~print:frame_print frame_gen)
+    (fun f -> Codec.decode (Codec.encode f) = f)
+
+let codec_prefix_prop =
+  QCheck.Test.make
+    ~name:"codec rejects every strict prefix"
+    ~count:100
+    (QCheck.make ~print:frame_print frame_gen)
+    (fun f ->
+      let s = Codec.encode f in
+      let cut = String.length s / 2 in
+      rejects (String.sub s 0 cut))
+
+(* ------------------------------------------------------------------ *)
+(* Stream reassembly                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_byte_at_a_time () =
+  let frames = sample_frames in
+  let wire = String.concat "" (List.map Codec.encode frames) in
+  let st = Codec.Stream.create () in
+  let out = ref [] in
+  String.iter
+    (fun ch ->
+      Codec.Stream.feed st (Bytes.make 1 ch) 1;
+      let rec drain () =
+        match Codec.Stream.next st with
+        | Some f ->
+          out := f :: !out;
+          drain ()
+        | None -> ()
+      in
+      drain ())
+    wire;
+  check bool "all frames recovered in order" true (List.rev !out = frames);
+  check bool "no residue" true (Codec.Stream.next st = None)
+
+let test_stream_mixed_chunks () =
+  let frames = List.concat [ sample_frames; sample_frames; sample_frames ] in
+  let wire = String.concat "" (List.map Codec.encode frames) in
+  let st = Codec.Stream.create () in
+  let out = ref [] in
+  let pos = ref 0 in
+  let sizes = [ 1; 3; 7; 64; 2; 1024; 5 ] in
+  let i = ref 0 in
+  while !pos < String.length wire do
+    let n = min (List.nth sizes (!i mod List.length sizes)) (String.length wire - !pos) in
+    incr i;
+    Codec.Stream.feed st (Bytes.of_string (String.sub wire !pos n)) n;
+    pos := !pos + n;
+    let rec drain () =
+      match Codec.Stream.next st with
+      | Some f ->
+        out := f :: !out;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  check int "frame count" (List.length frames) (List.length !out);
+  check bool "order preserved" true (List.rev !out = frames)
+
+(* ------------------------------------------------------------------ *)
+(* A real loopback server                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_roundtrip () =
+  let replica = Replica.create () in
+  let server = Server.start ~id:0 ~replica () in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server) in
+  let ep = Endpoint.create ~client:10 ~servers:[| addr |] ~quorum:1 () in
+  let got = ref None in
+  Endpoint.exec ep (Wire.Update (value 1 0 101)) (fun replies ->
+      got := Some replies);
+  (match !got with
+  | Some [ (0, Wire.Write_ack { current }) ] ->
+    check bool "server adopted the value" true
+      (Tstamp.equal current.Wire.tag (tag 1 0))
+  | _ -> Alcotest.fail "expected one write ack from server 0");
+  let got = ref None in
+  Endpoint.exec ep (Wire.Query []) (fun replies -> got := Some replies);
+  (match !got with
+  | Some [ (0, Wire.Read_ack { current; vector }) ] ->
+    check bool "query sees the update" true
+      (Tstamp.equal current.Wire.tag (tag 1 0));
+    check bool "vector records the writer" true
+      (List.exists
+         (fun (v, upd) ->
+           Tstamp.equal v.Wire.tag (tag 1 0) && List.mem 10 upd)
+         vector)
+  | _ -> Alcotest.fail "expected one read ack from server 0");
+  check int "two rounds completed" 2 (Endpoint.rounds_completed ep);
+  Endpoint.close ep;
+  Server.stop server
+
+let test_server_survives_garbage () =
+  (* A peer speaking garbage gets disconnected; the server keeps serving
+     well-formed clients. *)
+  let replica = Replica.create () in
+  let server = Server.start ~id:0 ~replica () in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server) in
+  let bad = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect bad addr;
+  let junk = Bytes.of_string "\xff\xff\xff\xffnonsense" in
+  ignore (Unix.write bad junk 0 (Bytes.length junk));
+  let ep = Endpoint.create ~client:11 ~servers:[| addr |] ~quorum:1 () in
+  let ok = ref false in
+  Endpoint.exec ep (Wire.Update (value 2 1 202)) (fun _ -> ok := true);
+  check bool "good client still served" true !ok;
+  (try Unix.close bad with _ -> ());
+  Endpoint.close ep;
+  Server.stop server
+
+(* ------------------------------------------------------------------ *)
+(* Live cluster runs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let atomic history =
+  match Checker.Atomicity.check history with Ok () -> true | Error _ -> false
+
+let run_live ?kill_at ?(rt_timeout = 0.5) ~register ~s ~tol spec =
+  let cluster = Cluster.start ~s ~tol () in
+  Fun.protect
+    ~finally:(fun () -> Cluster.shutdown cluster)
+    (fun () -> Session.run ?kill_at ~rt_timeout ~register ~cluster spec)
+
+let test_live_ls97_atomic () =
+  let res =
+    run_live ~register:Registry.abd_mwmr ~s:3 ~tol:1
+      {
+        Session.default_spec with
+        writers = 2;
+        readers = 2;
+        writes_per_writer = 15;
+        reads_per_reader = 25;
+      }
+  in
+  check bool "history atomic" true (atomic res.Session.history);
+  check int "no client starved" 0 res.Session.unavailable;
+  check bool "writes take two rounds" true (res.Session.write_rounds = 2.0);
+  check bool "reads take two rounds" true (res.Session.read_rounds = 2.0)
+
+let test_live_w2r1_fast_read () =
+  (* S=5 t=1 R=2: inside the R < S/t − 2 regime, so W2R1 must be atomic
+     with strictly one-round reads — the paper's headline, on sockets. *)
+  let res =
+    run_live ~register:Registry.fastread_w2r1 ~s:5 ~tol:1
+      {
+        Session.default_spec with
+        writers = 2;
+        readers = 2;
+        writes_per_writer = 15;
+        reads_per_reader = 25;
+      }
+  in
+  check bool "history atomic" true (atomic res.Session.history);
+  check bool "writes take two rounds" true (res.Session.write_rounds = 2.0);
+  check bool "reads are one round" true (res.Session.read_rounds = 1.0)
+
+let test_live_single_writer_guard () =
+  let cluster = Cluster.start ~s:3 ~tol:1 () in
+  Fun.protect
+    ~finally:(fun () -> Cluster.shutdown cluster)
+    (fun () ->
+      check bool "SWMR rejects two writers" true
+        (match
+           Session.run ~register:Registry.abd_swmr ~cluster
+             { Session.default_spec with writers = 2 }
+         with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let test_live_survives_t_kills () =
+  (* S=5 t=2: kill two real server processes mid-run.  The remaining
+     quorum of 3 must keep completing operations and the history must
+     still be atomic — the acceptance bar for the live transport. *)
+  let res =
+    run_live
+      ~kill_at:[ (0.02, 0); (0.05, 3) ]
+      ~register:Registry.abd_mwmr ~s:5 ~tol:2
+      {
+        Session.writers = 2;
+        readers = 2;
+        writes_per_writer = 20;
+        reads_per_reader = 30;
+        write_think = 0.004;
+        read_think = 0.003;
+      }
+  in
+  check (Alcotest.list int) "both targets down" [ 0; 3 ] res.Session.killed;
+  check int "no client starved" 0 res.Session.unavailable;
+  check bool "history atomic across the kills" true (atomic res.Session.history);
+  check bool "all writes completed" true
+    (List.for_all Histories.Op.is_complete
+       (Histories.History.ops res.Session.history))
+
+let test_live_adaptive_atomic () =
+  (* The adaptive register beyond the fast-read threshold, on sockets. *)
+  let res =
+    run_live ~register:Registry.adaptive ~s:3 ~tol:1
+      {
+        Session.default_spec with
+        writers = 2;
+        readers = 3;
+        writes_per_writer = 10;
+        reads_per_reader = 15;
+      }
+  in
+  check bool "history atomic" true (atomic res.Session.history);
+  check int "no client starved" 0 res.Session.unavailable
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "sample round trips" `Quick
+            test_codec_roundtrip_samples;
+          Alcotest.test_case "large vectors" `Quick test_codec_large_vector;
+          Alcotest.test_case "rejects truncation" `Quick
+            test_codec_rejects_truncation;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          QCheck_alcotest.to_alcotest codec_roundtrip_prop;
+          QCheck_alcotest.to_alcotest codec_prefix_prop;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "byte at a time" `Quick test_stream_byte_at_a_time;
+          Alcotest.test_case "mixed chunks" `Quick test_stream_mixed_chunks;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "round trips" `Quick test_server_roundtrip;
+          Alcotest.test_case "survives garbage peers" `Quick
+            test_server_survives_garbage;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "LS97 atomic on sockets" `Quick
+            test_live_ls97_atomic;
+          Alcotest.test_case "W2R1 one-round reads" `Quick
+            test_live_w2r1_fast_read;
+          Alcotest.test_case "single-writer guard" `Quick
+            test_live_single_writer_guard;
+          Alcotest.test_case "survives t kills" `Quick
+            test_live_survives_t_kills;
+          Alcotest.test_case "adaptive atomic on sockets" `Quick
+            test_live_adaptive_atomic;
+        ] );
+    ]

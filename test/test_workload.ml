@@ -30,6 +30,21 @@ let test_stats_singleton () =
   check bool "all seven" true
     (s.Stats.mean = 7.0 && s.Stats.p50 = 7.0 && s.Stats.p99 = 7.0)
 
+let test_stats_unsorted_input () =
+  (* of_latencies must sort; history traversal order is arbitrary. *)
+  let shuffled = [ 30.0; 10.0; 50.0; 20.0; 40.0 ] in
+  let s = Stats.of_latencies shuffled in
+  check bool "p50 is the median" true (s.Stats.p50 = 30.0);
+  check bool "min/max" true (s.Stats.min = 10.0 && s.Stats.max = 50.0)
+
+let test_stats_small_n_tail () =
+  (* With few samples the tail percentiles collapse onto the max, never
+     past it. *)
+  let s = Stats.of_latencies [ 1.0; 2.0 ] in
+  check bool "p95 = max" true (s.Stats.p95 = 2.0);
+  check bool "p99 = max" true (s.Stats.p99 = 2.0);
+  check bool "p50 = first" true (s.Stats.p50 = 1.0)
+
 let test_stats_from_history () =
   let env = Env.make ~seed:1 ~latency:(Simulation.Latency.constant 2.0) ~s:3 ~t:1 ~w:1 ~r:1 () in
   let plans =
@@ -171,6 +186,8 @@ let () =
           tc "empty" test_stats_empty;
           tc "percentiles" test_stats_percentiles;
           tc "singleton" test_stats_singleton;
+          tc "unsorted input" test_stats_unsorted_input;
+          tc "small-n tail" test_stats_small_n_tail;
           tc "from history" test_stats_from_history;
           tc "fast read is one RTT" test_one_round_latency_halved;
         ] );
