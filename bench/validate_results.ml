@@ -1,0 +1,340 @@
+(* Schema validation for BENCH_results.json.
+
+     dune exec bench/validate_results.exe [-- path]
+
+   The bench harness hand-rolls its JSON writer, so CI runs this after
+   every smoke bench: parse the document with a strict minimal JSON
+   reader (no dependencies), then assert the section shapes — required
+   keys present with the right types, counters non-negative, durations
+   positive.  Exit status 0 on a conforming file, 1 with a diagnostic
+   otherwise. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "at byte %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, got %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, got end of input" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "bad literal (wanted %s)" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+        | Some '/' -> Buffer.add_char buf '/'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> Buffer.add_char buf '?' (* non-ASCII: placeholder *)
+          | None -> fail "bad \\u escape");
+          pos := !pos + 4
+        | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or } in object"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ] in array"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes after document";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Schema checks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let errors = ref []
+
+let err path msg = errors := Printf.sprintf "%s: %s" path msg :: !errors
+
+let field obj path key =
+  match obj with
+  | Obj fields -> List.assoc_opt key fields
+  | _ ->
+    err path "expected an object";
+    None
+
+let want_string obj path key =
+  match field obj path key with
+  | Some (Str s) ->
+    if s = "" then err (path ^ "." ^ key) "empty string";
+    Some s
+  | Some _ ->
+    err (path ^ "." ^ key) "expected a string";
+    None
+  | None ->
+    err path (Printf.sprintf "missing key %S" key);
+    None
+
+let want_number obj path key =
+  match field obj path key with
+  | Some (Num f) -> Some f
+  | Some _ ->
+    err (path ^ "." ^ key) "expected a number";
+    None
+  | None ->
+    err path (Printf.sprintf "missing key %S" key);
+    None
+
+let want_bool obj path key =
+  match field obj path key with
+  | Some (Bool _) -> ()
+  | Some _ -> err (path ^ "." ^ key) "expected a bool"
+  | None -> err path (Printf.sprintf "missing key %S" key)
+
+let positive obj path key =
+  match want_number obj path key with
+  | Some f when f > 0.0 -> ()
+  | Some _ -> err (path ^ "." ^ key) "must be > 0"
+  | None -> ()
+
+let non_negative obj path key =
+  match want_number obj path key with
+  | Some f when f >= 0.0 -> ()
+  | Some _ -> err (path ^ "." ^ key) "must be >= 0"
+  | None -> ()
+
+let check_ms_obj obj path key =
+  match field obj path key with
+  | Some (Obj _ as ms) ->
+    List.iter (fun k -> non_negative ms (path ^ "." ^ key) k)
+      [ "mean"; "p50"; "p95"; "p99" ]
+  | Some _ -> err (path ^ "." ^ key) "expected an object"
+  | None -> err path (Printf.sprintf "missing key %S" key)
+
+let check_wall_clock path = function
+  | List entries ->
+    if entries = [] then err path "empty";
+    List.iteri
+      (fun i e ->
+        let p = Printf.sprintf "%s[%d]" path i in
+        ignore (want_string e p "experiment");
+        non_negative e p "runs";
+        non_negative e p "violations";
+        positive e p "sequential_s";
+        positive e p "parallel_s";
+        positive e p "domains";
+        positive e p "speedup")
+      entries
+  | _ -> err path "expected an array"
+
+let check_micro path = function
+  | Obj fields ->
+    if fields = [] then err path "empty";
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Num f when f > 0.0 -> ()
+        | Num _ -> err (path ^ "." ^ k) "must be > 0"
+        | _ -> err (path ^ "." ^ k) "expected a number")
+      fields
+  | _ -> err path "expected an object"
+
+let check_live path = function
+  | List entries ->
+    if entries = [] then err path "empty";
+    List.iteri
+      (fun i e ->
+        let p = Printf.sprintf "%s[%d]" path i in
+        ignore (want_string e p "protocol");
+        ignore (want_string e p "design_point");
+        positive e p "s";
+        non_negative e p "t";
+        non_negative e p "writers";
+        positive e p "readers";
+        positive e p "ops";
+        positive e p "duration_s";
+        positive e p "throughput_ops_per_s";
+        positive e p "write_rounds_per_op";
+        positive e p "read_rounds_per_op";
+        check_ms_obj e p "write_ms";
+        check_ms_obj e p "read_ms";
+        want_bool e p "atomic")
+      entries
+  | _ -> err path "expected an array"
+
+let check_scaling path = function
+  | List entries ->
+    if entries = [] then err path "empty";
+    List.iteri
+      (fun i e ->
+        let p = Printf.sprintf "%s[%d]" path i in
+        ignore (want_string e p "protocol");
+        (match want_string e p "path" with
+        | Some ("mux" | "sockets") | None -> ()
+        | Some other ->
+          err (p ^ ".path") (Printf.sprintf "unknown path %S" other));
+        positive e p "writers";
+        positive e p "readers";
+        positive e p "ops";
+        positive e p "duration_s";
+        positive e p "throughput_ops_per_s";
+        non_negative e p "write_p50_ms";
+        non_negative e p "read_p50_ms")
+      entries
+  | _ -> err path "expected an array"
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json" in
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "cannot read %s: %s\n" path msg;
+      exit 1
+  in
+  let doc =
+    try parse contents
+    with Parse_error msg ->
+      Printf.eprintf "%s: JSON parse error %s\n" path msg;
+      exit 1
+  in
+  ignore (want_string doc "$" "generated_by");
+  positive doc "$" "recommended_domain_count";
+  let optional = ref 0 in
+  let section key checker =
+    match field doc "$" key with
+    | Some v ->
+      incr optional;
+      checker ("$." ^ key) v
+    | None -> ()
+  in
+  section "wall_clock" check_wall_clock;
+  section "micro_ns_per_run" check_micro;
+  section "live" check_live;
+  section "live_scaling" check_scaling;
+  if !optional = 0 then
+    err "$" "no result section present (wall_clock / micro_ns_per_run / live / live_scaling)";
+  match List.rev !errors with
+  | [] ->
+    Printf.printf "%s: schema OK (%d section(s))\n" path !optional;
+    exit 0
+  | es ->
+    List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) es;
+    exit 1

@@ -470,16 +470,19 @@ let pp_ms ppf (st : Stats.summary) =
 
 (* One protocol against one (fresh or attached) cluster.  Returns true
    when the recorded history is atomic. *)
-let live_one ~register ~cluster ~spec ~kill_at ~rt_timeout =
-  let res = Live.Session.run ~kill_at ~rt_timeout ~register ~cluster spec in
+let live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout =
+  let res =
+    Live.Session.run ~kill_at ~transport ~rt_timeout ~register ~cluster spec
+  in
   let h = res.Live.Session.history in
   let ops = History.length h in
   Format.printf "protocol    : %s@." (Registry.name register);
-  Format.printf "cluster     : %s S=%d t=%d (quorum %d)@."
+  Format.printf "cluster     : %s S=%d t=%d (quorum %d), %s transport@."
     (if Live.Cluster.local cluster then "loopback" else "remote")
     (Live.Cluster.s cluster)
     (Live.Cluster.tolerance cluster)
-    (Live.Cluster.quorum cluster);
+    (Live.Cluster.quorum cluster)
+    (match transport with `Mux -> "mux" | `Sockets -> "per-client-socket");
   Format.printf "ops         : %d in %.3fs (%.0f ops/s)@." ops
     res.Live.Session.duration
     (float_of_int ops /. res.Live.Session.duration);
@@ -506,7 +509,13 @@ let live_one ~register ~cluster ~spec ~kill_at ~rt_timeout =
   Format.printf "@.";
   ok
 
-let live protocol all s tol w r ops connect kills think rt_timeout =
+let live protocol all s tol w r ops connect kills think transport rt_timeout =
+  let transport =
+    match transport with
+    | "mux" -> Ok `Mux
+    | "sockets" -> Ok `Sockets
+    | other -> Error (Printf.sprintf "unknown transport %S (mux|sockets)" other)
+  in
   let registers =
     if all then Ok Registry.all
     else
@@ -528,18 +537,19 @@ let live protocol all s tol w r ops connect kills think rt_timeout =
             Result.map (fun k -> k :: l) (parse_kill spec)))
       kills (Ok [])
   in
-  match (registers, addrs, kill_at) with
-  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+  match (registers, addrs, kill_at, transport) with
+  | Error msg, _, _, _ | _, Error msg, _, _ | _, _, Error msg, _
+  | _, _, _, Error msg ->
     Printf.eprintf "%s\n" msg;
     exit 1
-  | Ok _, Ok (_ :: _), Ok (_ :: _) ->
+  | Ok _, Ok (_ :: _), Ok (_ :: _), _ ->
     Printf.eprintf "--kill needs a loopback cluster (drop --connect)\n";
     exit 1
-  | Ok (_ :: _ :: _), Ok (_ :: _), _ ->
+  | Ok (_ :: _ :: _), Ok (_ :: _), _, _ ->
     Printf.eprintf
       "--all needs a fresh cluster per protocol: drop --connect\n";
     exit 1
-  | Ok registers, Ok addrs, Ok kill_at ->
+  | Ok registers, Ok addrs, Ok kill_at, Ok transport ->
     let run_one register =
       (* A fresh cluster per protocol: replica state must not leak
          between runs (a stale value surfacing in a read would be an
@@ -567,7 +577,7 @@ let live protocol all s tol w r ops connect kills think rt_timeout =
               read_think = think;
             }
           in
-          live_one ~register ~cluster ~spec ~kill_at ~rt_timeout)
+          live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout)
     in
     let ok = List.for_all run_one registers in
     if not ok then exit 2
@@ -599,6 +609,14 @@ let live_cmd =
     Arg.(value & opt float 0.0 & info [ "think" ] ~docv:"SEC"
          ~doc:"Think time between a client's operations.")
   in
+  let transport =
+    Arg.(value & opt string "mux"
+         & info [ "transport" ] ~docv:"PLANE"
+             ~doc:"Client data plane: $(b,mux) shares one connection per \
+                   server across all clients (demultiplexed replies), \
+                   $(b,sockets) gives every client its own socket per \
+                   server (the baseline select loop).")
+  in
   let rt_timeout =
     Arg.(value & opt float 1.0 & info [ "rt-timeout" ] ~docv:"SEC"
          ~doc:"Per-round-trip timeout before re-broadcasting.")
@@ -608,7 +626,7 @@ let live_cmd =
        ~doc:"Run a register protocol over real TCP sockets and check the \
              recorded history for atomicity.")
     Term.(const live $ protocol_arg $ all $ s_arg $ t_arg $ w_arg $ r_arg
-          $ ops $ connect $ kills $ think $ rt_timeout)
+          $ ops $ connect $ kills $ think $ transport $ rt_timeout)
 
 (* ------------------------------------------------------------------ *)
 

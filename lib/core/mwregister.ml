@@ -70,6 +70,7 @@ module Pool = Parallel.Pool
 module Live = struct
   module Codec = Transport.Codec
   module Server = Transport.Server
+  module Mux = Transport.Mux
   module Endpoint = Transport.Endpoint
   module Cluster = Transport.Cluster
   module Session = Transport.Session

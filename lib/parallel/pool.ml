@@ -8,9 +8,16 @@ let default_domains () =
     | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+(* Hardware ceiling: spawning more domains than the machine has cores
+   never helps and usually hurts — the surplus domains only add GC
+   coordination and context-switch traffic (on a 1-core container an
+   oversubscribed "parallel" sweep measured 2× slower than sequential).
+   Requested sizes mean *up to* this many workers. *)
+let hw_cap () = max 1 (Domain.recommended_domain_count ())
+
 let create ?domains () =
   let n = match domains with Some n -> n | None -> default_domains () in
-  { domains = max 1 n }
+  { domains = max 1 (min n (hw_cap ())) }
 
 let domains t = t.domains
 
@@ -21,7 +28,11 @@ let domains t = t.domains
 let run_tasks pool n f =
   if n > 0 then begin
     let workers = min pool.domains n in
-    if workers <= 1 then
+    (* Inline fallback: a domain spawn + join costs far more than a
+       couple of typical tasks, so batches too small to amortise it run
+       in the caller.  [workers <= 1] lands here too, keeping the
+       degenerate pool identical to the old sequential loop. *)
+    if workers <= 1 || n <= 2 then
       for i = 0 to n - 1 do
         f i
       done
@@ -76,10 +87,18 @@ let map pool f xs =
 let map_reduce pool ~map:fm ~reduce ~init xs =
   List.fold_left reduce init (map pool fm xs)
 
-let iter_seeds pool ?(chunk = 16) ~lo ~hi f =
+let iter_seeds pool ?chunk ~lo ~hi f =
   if hi >= lo then begin
-    let chunk = max 1 chunk in
     let count = hi - lo + 1 in
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None ->
+        (* Aim for ~4 chunks per worker: enough slack for the cursor to
+           balance uneven costs, few enough that lock traffic stays
+           negligible.  Tiny sweeps collapse into one inline chunk. *)
+        max 1 (count / (4 * pool.domains))
+    in
     let chunks = (count + chunk - 1) / chunk in
     run_tasks pool chunks (fun c ->
         let a = lo + (c * chunk) in

@@ -26,11 +26,15 @@ val default_domains : unit -> int
     integer, otherwise [Domain.recommended_domain_count ()]. *)
 
 val create : ?domains:int -> unit -> t
-(** A pool of [domains] workers (the calling domain counts as one;
-    [domains - 1] are spawned per batch).  Defaults to
-    {!default_domains}; values below 1 are clamped to 1.  With 1 domain
-    every batch runs sequentially in the caller — the degenerate pool is
-    exactly the old sequential loop. *)
+(** A pool of up to [domains] workers (the calling domain counts as one;
+    the rest are spawned per batch).  Defaults to {!default_domains};
+    values below 1 are clamped to 1 and values above
+    [Domain.recommended_domain_count ()] are clamped down to it —
+    oversubscribing cores only adds GC coordination and context-switch
+    cost, so a pool is never slower than the sequential loop.  With 1
+    effective domain every batch runs sequentially in the caller.
+    Batches of at most 2 tasks always run inline: a domain spawn costs
+    more than it could save there. *)
 
 val domains : t -> int
 
@@ -46,7 +50,9 @@ val map_reduce :
 
 val iter_seeds : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [iter_seeds pool ~lo ~hi f] calls [f seed] for every seed in
-    [lo..hi] inclusive, handing out contiguous chunks of [chunk]
-    (default 16) seeds at a time to amortise the cursor lock.  [f]'s
-    side effects must be disjoint per seed (e.g. each seed writes its
-    own array slot). *)
+    [lo..hi] inclusive, handing out contiguous chunks of [chunk] seeds
+    at a time to amortise the cursor lock.  When [chunk] is omitted it
+    is sized to roughly 4 chunks per worker, so big sweeps see almost no
+    cursor traffic and tiny sweeps collapse into one inline chunk.
+    [f]'s side effects must be disjoint per seed (e.g. each seed writes
+    its own array slot). *)

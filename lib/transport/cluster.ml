@@ -68,21 +68,35 @@ let running t =
 let shutdown t =
   if local t then Array.iteri (fun i _ -> kill t i) t.servers
 
+type transport = [ `Mux | `Sockets ]
+
 type clients = {
   writer_eps : Endpoint.t array;
   reader_eps : Endpoint.t array;
   ctx : Client_core.ctx;
+  mux : Mux.t option; (* the shared plane, when [`Mux] *)
 }
 
 (* Client node ids follow Protocol.Topology's numbering (servers
    0..S-1, writer i = S+i, reader j = S+W+j) so the updated sets the
    replicas record — and therefore the admissibility certificates — are
    identical across the simulated and live backends. *)
-let clients ?rt_timeout ?max_rt_retries t ~writers ~readers =
+let clients ?(transport = `Mux) ?rt_timeout ?max_rt_retries t ~writers
+    ~readers =
   let addrs = addrs t in
-  let ep client =
-    Endpoint.create ?rt_timeout ?max_rt_retries ~client ~servers:addrs
-      ~quorum:(quorum t) ()
+  let mux, ep =
+    match transport with
+    | `Sockets ->
+      ( None,
+        fun client ->
+          Endpoint.create ?rt_timeout ?max_rt_retries ~client ~servers:addrs
+            ~quorum:(quorum t) () )
+    | `Mux ->
+      let mux =
+        Mux.create ?rt_timeout ?max_rt_retries ~servers:addrs
+          ~quorum:(quorum t) ()
+      in
+      (Some mux, fun client -> Endpoint.of_mux (Mux.client mux ~client))
   in
   let writer_eps = Array.init writers (fun i -> ep (t.s + i)) in
   let reader_eps = Array.init readers (fun j -> ep (t.s + writers + j)) in
@@ -97,8 +111,10 @@ let clients ?rt_timeout ?max_rt_retries t ~writers ~readers =
         t = t.tol;
         r = readers;
       };
+    mux;
   }
 
 let close_clients c =
   Array.iter Endpoint.close c.writer_eps;
-  Array.iter Endpoint.close c.reader_eps
+  Array.iter Endpoint.close c.reader_eps;
+  Option.iter Mux.shutdown c.mux

@@ -43,16 +43,27 @@ val running : t -> int list
 val shutdown : t -> unit
 (** Kill everything. *)
 
+type transport = [ `Mux | `Sockets ]
+(** Which data plane carries the clients' round trips:
+    [`Mux] (default) — one shared connection per server for the whole
+    client set, demuxed to per-client mailboxes ({!Mux});
+    [`Sockets] — the baseline private path, [S] sockets per client
+    polled with [select] ({!Endpoint.create}). *)
+
 type clients = {
   writer_eps : Endpoint.t array;
   reader_eps : Endpoint.t array;
   ctx : Registers.Client_core.ctx;
+  mux : Mux.t option;
+      (** The shared plane when [transport = `Mux]; shut down by
+          {!close_clients}. *)
 }
 (** A set of live client endpoints plus the backend-agnostic context the
     {!Registers.Client_core} algorithms consume.  The endpoint arrays
     stay exposed for round-trip statistics. *)
 
 val clients :
+  ?transport:transport ->
   ?rt_timeout:float ->
   ?max_rt_retries:int ->
   t ->
@@ -63,3 +74,5 @@ val clients :
     {!Protocol.Topology} so live and simulated certificates agree. *)
 
 val close_clients : clients -> unit
+(** Close every endpoint and, on the mux plane, shut the shared
+    connections down. *)

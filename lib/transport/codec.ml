@@ -6,7 +6,7 @@ let fail fmt = Printf.ksprintf (fun msg -> raise (Decode_error msg)) fmt
 
 type frame =
   | Request of { rt : int; client : int; req : Wire.req }
-  | Reply of { rt : int; server : int; rep : Wire.rep }
+  | Reply of { rt : int; client : int; server : int; rep : Wire.rep }
 
 (* Hard ceilings so a corrupt or hostile peer cannot make us allocate
    unboundedly.  Generous versus anything the protocols produce. *)
@@ -56,11 +56,40 @@ let add_frame b = function
     add_int b rt;
     add_int b client;
     add_req b req
-  | Reply { rt; server; rep } ->
+  | Reply { rt; client; server; rep } ->
     Buffer.add_char b '\001';
     add_int b rt;
+    add_int b client;
     add_int b server;
     add_rep b rep
+
+(* Exact wire sizes, so [encode_into] can emit the length prefix first
+   and never needs a second buffer or a patch-up pass. *)
+let value_size = 24 (* ts + wid + payload *)
+
+let req_size = function
+  | Wire.Query vs -> 1 + 8 + (value_size * List.length vs)
+  | Wire.Update _ -> 1 + value_size
+
+let rep_size = function
+  | Wire.Write_ack _ -> 1 + value_size
+  | Wire.Read_ack { vector; _ } ->
+    1 + value_size + 8
+    + List.fold_left
+        (fun acc (_, updated) ->
+          acc + value_size + 8 + (8 * List.length updated))
+        0 vector
+
+let body_size = function
+  | Request { req; _ } -> 1 + 8 + 8 + req_size req
+  | Reply { rep; _ } -> 1 + 8 + 8 + 8 + rep_size rep
+
+let frame_size frame = 4 + body_size frame
+
+let encode_into b frame =
+  Buffer.clear b;
+  Buffer.add_int32_be b (Int32.of_int (body_size frame));
+  add_frame b frame
 
 let encode_body frame =
   let b = Buffer.create 128 in
@@ -68,10 +97,8 @@ let encode_body frame =
   Buffer.contents b
 
 let encode frame =
-  let body = encode_body frame in
-  let b = Buffer.create (4 + String.length body) in
-  Buffer.add_int32_be b (Int32.of_int (String.length body));
-  Buffer.add_string b body;
+  let b = Buffer.create (frame_size frame) in
+  encode_into b frame;
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -143,9 +170,10 @@ let get_frame c =
     Request { rt; client; req }
   | 1 ->
     let rt = get_int c in
+    let client = get_int c in
     let server = get_int c in
     let rep = get_rep c in
-    Reply { rt; server; rep }
+    Reply { rt; client; server; rep }
   | b -> fail "unknown frame tag %d" b
 
 let decode_body body =

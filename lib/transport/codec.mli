@@ -15,13 +15,27 @@ exception Decode_error of string
 
 type frame =
   | Request of { rt : int; client : int; req : Registers.Wire.req }
-  | Reply of { rt : int; server : int; rep : Registers.Wire.rep }
+  | Reply of { rt : int; client : int; server : int; rep : Registers.Wire.rep }
+      (** Replies echo the requesting [client]: on a multiplexed
+          connection shared by many clients, [(client, rt)] is the
+          routing key that delivers the reply to the right mailbox. *)
 
 val max_frame_len : int
 (** Largest accepted body, in bytes (corrupt-length guard). *)
 
+val frame_size : frame -> int
+(** Exact wire size of [frame] (length prefix included), computed
+    without encoding. *)
+
 val encode : frame -> string
 (** The full wire bytes: length prefix + body. *)
+
+val encode_into : Buffer.t -> frame -> unit
+(** [encode_into b frame] clears [b] and writes exactly the bytes of
+    [encode frame] into it.  Reusing one buffer per connection makes the
+    hot send path allocation-free once the buffer has grown to its
+    steady-state size: [Buffer.contents] is never needed because callers
+    blit the buffer straight into a reused [Bytes.t] staging area. *)
 
 val encode_body : frame -> string
 (** The body alone, without the length prefix. *)

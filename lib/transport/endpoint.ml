@@ -1,6 +1,17 @@
 open Registers
 
-exception Unavailable of string
+(* One exception for both data planes, so callers catch quorum loss the
+   same way whichever path is active. *)
+exception Unavailable = Mux.Unavailable
+
+(* ------------------------------------------------------------------ *)
+(* The private per-client-socket path                                  *)
+(*                                                                     *)
+(* Each client owns S sockets and polls them with [select] inside every *)
+(* operation.  Kept as the baseline the multiplexed plane is measured   *)
+(* against (bench `live` records both), and for talking to servers that *)
+(* predate the client-echoing Reply frame.                              *)
+(* ------------------------------------------------------------------ *)
 
 type conn = {
   addr : Unix.sockaddr;
@@ -10,7 +21,7 @@ type conn = {
   mutable next_attempt : float; (* wall-clock gate for the next connect *)
 }
 
-type t = {
+type sockets = {
   client : int;
   conns : conn array;
   quorum : int;
@@ -23,7 +34,13 @@ type t = {
   mutable completed : int;
   mutable late : int;
   read_buf : Bytes.t;
+  enc : Buffer.t; (* reused encode buffer *)
+  mutable out : Bytes.t; (* reused write staging *)
 }
+
+type t =
+  | Sockets of sockets
+  | Shared of Mux.handle
 
 let now () = Unix.gettimeofday ()
 
@@ -97,23 +114,24 @@ let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
       completed = 0;
       late = 0;
       read_buf = Bytes.create 65536;
+      enc = Buffer.create 256;
+      out = Bytes.create 256;
     }
   in
   (* Optimistic first dial; failures just leave the conn in backoff. *)
   Array.iter (fun c -> ignore (try_connect t c)) t.conns;
-  t
+  Sockets t
 
-let send_frame c frame =
+let of_mux h = Shared h
+
+let send_bytes c bytes len =
   match c.fd with
   | None -> false
   | Some fd -> (
-    let s = Codec.encode frame in
-    let b = Bytes.unsafe_of_string s in
-    let len = Bytes.length b in
     try
       let sent = ref 0 in
       while !sent < len do
-        sent := !sent + Unix.write fd b !sent (len - !sent)
+        sent := !sent + Unix.write fd bytes !sent (len - !sent)
       done;
       true
     with _ ->
@@ -125,7 +143,7 @@ let send_frame c frame =
    arrives afterwards as late.  One endpoint serves one client thread;
    operations are sequential per client, so a single in-flight rt
    suffices. *)
-let exec t req k =
+let sockets_exec t req k =
   let rt = t.next_rt in
   t.next_rt <- rt + 1;
   t.started <- t.started + 1;
@@ -134,12 +152,18 @@ let exec t req k =
   let sent = Array.make n false in
   let replies = ref [] in
   let nreplies = ref 0 in
-  let frame = Codec.Request { rt; client = t.client; req } in
+  (* Encode once into the reused buffer; the same bytes go to every
+     server. *)
+  Codec.encode_into t.enc (Codec.Request { rt; client = t.client; req });
+  let len = Buffer.length t.enc in
+  if len > Bytes.length t.out then
+    t.out <- Bytes.create (max len (2 * Bytes.length t.out));
+  Buffer.blit t.enc 0 t.out 0 len;
   let handle_frame i = function
     | Codec.Request _ ->
       (* Servers never send requests; treat as a broken peer. *)
       drop t.conns.(i)
-    | Codec.Reply { rt = rt'; server = _; rep } ->
+    | Codec.Reply { rt = rt'; client = _; server = _; rep } ->
       if rt' = rt && not replied.(i) then begin
         replied.(i) <- true;
         (* Label replies with the connection's server index — it is
@@ -155,7 +179,7 @@ let exec t req k =
         if (not replied.(i)) && not sent.(i) then
           match try_connect t c with
           | None -> ()
-          | Some _ -> sent.(i) <- send_frame c frame)
+          | Some _ -> sent.(i) <- send_bytes c t.out len)
       t.conns
   in
   let read_ready fds =
@@ -227,12 +251,29 @@ let exec t req k =
             "client %d: %d/%d replies after %d attempts of %.3fs" t.client
             !nreplies t.quorum (!attempt + 1) t.rt_timeout))
 
+(* ------------------------------------------------------------------ *)
+(* The common face                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let exec t req k =
+  match t with
+  | Sockets s -> sockets_exec s req k
+  | Shared h -> Mux.exec h req k
+
 let endpoint t = { Client_core.exec = (fun req k -> exec t req k) }
 
-let rounds_started t = t.started
+let rounds_started = function
+  | Sockets s -> s.started
+  | Shared h -> Mux.rounds_started h
 
-let rounds_completed t = t.completed
+let rounds_completed = function
+  | Sockets s -> s.completed
+  | Shared h -> Mux.rounds_completed h
 
-let late_replies t = t.late
+let late_replies = function
+  | Sockets s -> s.late
+  | Shared h -> Mux.late_replies h
 
-let close t = Array.iter drop t.conns
+let close = function
+  | Sockets s -> Array.iter drop s.conns
+  | Shared h -> Mux.release h

@@ -12,12 +12,24 @@
     effort — [t] real process kills are survivable as long as [S − t]
     servers keep answering.
 
+    Two data planes satisfy this contract:
+
+    - {!create} — the private path: this client owns [S] sockets and
+      polls them with [select] inside each operation.  Simple, but
+      [C × S] sockets and [C] poll loops at [C] clients.
+    - {!of_mux} — the multiplexed path ({!Mux}): all clients in the
+      process share one connection per server; replies are routed to
+      per-client mailboxes by a demux thread per connection.  This is
+      the production data plane.
+
     One endpoint belongs to one client thread; operations are issued
     sequentially (the CPS algorithms nest their rounds), so there is at
     most one round trip in flight per endpoint. *)
 
 exception Unavailable of string
-(** Raised by [exec] when no quorum answered within the retry budget. *)
+(** Raised by [exec] when no quorum answered within the retry budget.
+    The same exception as {!Mux.Unavailable}, whichever plane raised
+    it. *)
 
 type t
 
@@ -32,13 +44,16 @@ val create :
   unit ->
   t
 (** [create ~client ~servers ~quorum ()] dials every server (tolerating
-    failures) and returns the endpoint.  [client] is this client's node
-    id as recorded in the servers' [updated] sets — use the same
-    numbering as {!Protocol.Topology} (writer [i] ↦ [S + i], reader [j] ↦
-    [S + W + j]) so live and simulated certificates agree.
+    failures) and returns a private-socket endpoint.  [client] is this
+    client's node id as recorded in the servers' [updated] sets — use
+    the same numbering as {!Protocol.Topology} (writer [i] ↦ [S + i],
+    reader [j] ↦ [S + W + j]) so live and simulated certificates agree.
     [rt_timeout] (default 1s) bounds each round trip; [max_rt_retries]
     (default 3) bounds re-broadcasts; [connect_retries]/[connect_backoff]
     bound reconnect attempts per server. *)
+
+val of_mux : Mux.handle -> t
+(** An endpoint over a client handle of a shared {!Mux} plane. *)
 
 val exec : t -> Registers.Wire.req -> ((int * Registers.Wire.rep) list -> unit) -> unit
 (** One round trip.  The continuation receives [(server_index, reply)]
@@ -57,5 +72,7 @@ val late_replies : t -> int
     the live analogue of the simulator's late-message count. *)
 
 val close : t -> unit
-(** Drop every connection.  The endpoint may be used again (it will
-    redial), but [close] is normally terminal. *)
+(** Private path: drop every connection (the endpoint may be used again;
+    it will redial).  Mux path: release this client's mailbox route —
+    the shared connections stay up for other clients until the owning
+    {!Mux.t} is {!Mux.shutdown}. *)

@@ -1,0 +1,423 @@
+open Registers
+
+exception Unavailable of string
+
+let now () = Unix.gettimeofday ()
+
+(* A server crashing mid-write must surface as EPIPE on that write, not
+   kill the client process. *)
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
+type conn = {
+  index : int; (* server index: the authoritative reply label *)
+  addr : Unix.sockaddr;
+  lock : Mutex.t; (* guards fd, attempts, and the outgoing buffer *)
+  (* The write-combining path (flat combining, no dedicated sender
+     thread): an enqueuer appends its frame to [out] under [lock]; if
+     no flush is in progress it becomes the flusher, swapping the
+     accumulated bytes into [staging] and issuing one [write] per
+     batch.  Concurrent enqueuers find [flushing] set, append and
+     return without a syscall or a thread handoff — their frames ride
+     the current flusher's next iteration, arrive at the server as one
+     read, are replica-handled as a batch and answered in one reply
+     write. *)
+  out : Buffer.t;
+  mutable flushing : bool;
+  mutable staging : Bytes.t; (* flusher-owned swap space, reused *)
+  mutable fd : Unix.file_descr option;
+  mutable attempts : int; (* consecutive failed connects *)
+  mutable next_attempt : float; (* wall-clock gate for the next connect *)
+}
+
+type mailbox = {
+  client : int;
+  mb_lock : Mutex.t;
+  mb_cond : Condition.t;
+  (* State of the (single) in-flight round trip.  [mb_rt = -1] means no
+     round trip is open: anything routed then is late. *)
+  mutable mb_rt : int;
+  mb_from : bool array; (* per-server dedup for the open round trip *)
+  mutable mb_replies : (int * Wire.rep) list; (* newest first *)
+  mutable mb_n : int;
+  mutable mb_late : int;
+  mutable mb_next_rt : int;
+  mutable mb_deadline : float; (* ticker wakes the waiter only past this *)
+  mutable mb_started : int;
+  mutable mb_completed : int;
+  (* Reused send path: the frame is encoded once per operation into
+     [enc], blitted into [out], and the same bytes go to every
+     connection — allocation-free once both have reached steady size. *)
+  enc : Buffer.t;
+  mutable out : Bytes.t;
+}
+
+type t = {
+  conns : conn array;
+  quorum : int;
+  rt_timeout : float;
+  max_rt_retries : int;
+  connect_retries : int;
+  connect_backoff : float;
+  routes : (int, mailbox) Hashtbl.t;
+  routes_lock : Mutex.t;
+  mutable demuxers : Thread.t list; (* joined on shutdown *)
+  mutable ticker : Thread.t option;
+  mutable stopping : bool;
+}
+
+type handle = { mux : t; mb : mailbox }
+
+(* ------------------------------------------------------------------ *)
+(* Reply routing (demux threads)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let route t ~server_index ~client ~rt rep =
+  let mb =
+    Mutex.protect t.routes_lock (fun () -> Hashtbl.find_opt t.routes client)
+  in
+  match mb with
+  | None -> () (* client released its handle: drop the straggler *)
+  | Some mb ->
+    Mutex.protect mb.mb_lock (fun () ->
+        if mb.mb_rt = rt && not mb.mb_from.(server_index) then begin
+          mb.mb_from.(server_index) <- true;
+          mb.mb_replies <- (server_index, rep) :: mb.mb_replies;
+          mb.mb_n <- mb.mb_n + 1;
+          (* Quorum-gated wake-up: replies below the quorum cannot
+             unblock the waiter, so signalling them would only burn a
+             scheduler pass per straggler.  The ticker covers timeout
+             detection for rounds that never get there. *)
+          if mb.mb_n >= t.quorum then Condition.signal mb.mb_cond
+        end
+        else mb.mb_late <- mb.mb_late + 1)
+
+(* The demux thread owns [fd] for the life of one connection: it is the
+   only reader, and on any failure it severs the connection — but only
+   if the conn still points at its own fd (a reconnect may already have
+   replaced it). *)
+let disconnect c fd =
+  Mutex.protect c.lock (fun () ->
+      match c.fd with
+      | Some cur when cur == fd -> c.fd <- None
+      | _ -> ());
+  try Unix.close fd with _ -> ()
+
+let demux t c fd () =
+  let stream = Codec.Stream.create () in
+  let buf = Bytes.create 65536 in
+  (try
+     let stop = ref false in
+     while not !stop do
+       match Unix.read fd buf 0 (Bytes.length buf) with
+       | 0 -> stop := true
+       | n ->
+         Codec.Stream.feed stream buf n;
+         let rec drain () =
+           match Codec.Stream.next stream with
+           | Some (Codec.Reply { rt; client; server = _; rep }) ->
+             (* Route by (client, rt); the connection's own index is the
+                authoritative server label, as in the private path. *)
+             route t ~server_index:c.index ~client ~rt rep;
+             drain ()
+           | Some (Codec.Request _) ->
+             (* Servers never send requests; cut the broken peer off. *)
+             stop := true
+           | None -> ()
+         in
+         drain ()
+       | exception _ -> stop := true
+     done
+   with Codec.Decode_error _ -> ());
+  disconnect c fd
+
+(* ------------------------------------------------------------------ *)
+(* Connecting and sending                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded, exponentially backed-off reconnect; [c.lock] must be held.
+   A fresh connection gets a fresh demux thread. *)
+let try_connect t c =
+  match c.fd with
+  | Some fd -> Some fd
+  | None ->
+    if
+      t.stopping || c.attempts > t.connect_retries
+      || now () < c.next_attempt
+    then None
+    else begin
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.connect fd c.addr;
+        Unix.setsockopt fd Unix.TCP_NODELAY true
+      with
+      | () ->
+        c.fd <- Some fd;
+        c.attempts <- 0;
+        let th = Thread.create (demux t c fd) () in
+        Mutex.protect t.routes_lock (fun () ->
+            t.demuxers <- th :: t.demuxers);
+        Some fd
+      | exception _ ->
+        (try Unix.close fd with _ -> ());
+        c.attempts <- c.attempts + 1;
+        c.next_attempt <-
+          now () +. (t.connect_backoff *. float_of_int (1 lsl min c.attempts 6));
+        None
+    end
+
+(* Send [len] bytes on the shared connection.  The caller appends under
+   [c.lock]; if no flush is in progress it becomes the flusher and
+   drains the queue itself — uncontended, that is one inline [write]
+   with no thread handoff.  While a flush is running, other enqueuers
+   just append and return; the flusher's loop re-checks the queue after
+   every batch, so their bytes go out in the next combined write.  On a
+   write error the link is severed ([shutdown], not [close] — the demux
+   thread is the fd's sole closer) and queued bytes are dropped; the
+   round-trip retry loop re-broadcasts after reconnect. *)
+let enqueue t c bytes len =
+  Mutex.lock c.lock;
+  match try_connect t c with
+  | None ->
+    Mutex.unlock c.lock;
+    false
+  | Some _ ->
+    Buffer.add_subbytes c.out bytes 0 len;
+    if c.flushing then begin
+      (* A flusher is active: it will carry these bytes.  No syscall,
+         no signal, no context switch on this path. *)
+      Mutex.unlock c.lock;
+      true
+    end
+    else begin
+      c.flushing <- true;
+      let ok = ref true in
+      while !ok && Buffer.length c.out > 0 do
+        let blen = Buffer.length c.out in
+        if blen > Bytes.length c.staging then
+          c.staging <- Bytes.create (max blen (2 * Bytes.length c.staging));
+        Buffer.blit c.out 0 c.staging 0 blen;
+        Buffer.clear c.out;
+        match c.fd with
+        | None -> ok := false (* link died since the append: drop *)
+        | Some fd -> (
+          Mutex.unlock c.lock;
+          (match
+             let sent = ref 0 in
+             while !sent < blen do
+               sent := !sent + Unix.write fd c.staging !sent (blen - !sent)
+             done
+           with
+          | () -> Mutex.lock c.lock
+          | exception _ ->
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+            Mutex.lock c.lock;
+            (match c.fd with
+            | Some cur when cur == fd -> c.fd <- None
+            | _ -> ());
+            Buffer.clear c.out;
+            ok := false))
+      done;
+      c.flushing <- false;
+      Mutex.unlock c.lock;
+      !ok
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Timeouts are detected on wake-up, and the stdlib condvar has no timed
+   wait — one ticker thread per mux broadcasts every few tens of
+   milliseconds so blocked operations re-check their deadline.  Normal
+   completions never wait for a tick: every routed reply signals its
+   mailbox directly. *)
+let tick_period t = Float.max 0.005 (Float.min 0.05 (t.rt_timeout /. 4.0))
+
+let ticker_body t () =
+  while not t.stopping do
+    Thread.delay (tick_period t);
+    let mbs =
+      Mutex.protect t.routes_lock (fun () ->
+          Hashtbl.fold (fun _ mb acc -> mb :: acc) t.routes [])
+    in
+    let t_now = now () in
+    List.iter
+      (fun mb ->
+        Mutex.protect mb.mb_lock (fun () ->
+            (* Wake a waiter only when its round has actually timed out;
+               broadcasting every tick would drag every blocked client
+               through the scheduler 20 times a second for nothing. *)
+            if mb.mb_rt >= 0 && t_now >= mb.mb_deadline then
+              Condition.broadcast mb.mb_cond))
+      mbs
+  done
+
+let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
+    ?(connect_backoff = 0.02) ~servers ~quorum () =
+  Lazy.force ignore_sigpipe;
+  let n = Array.length servers in
+  if quorum <= 0 || quorum > n then
+    invalid_arg "Mux.create: quorum out of range";
+  let t =
+    {
+      conns =
+        Array.mapi
+          (fun index addr ->
+            {
+              index;
+              addr;
+              lock = Mutex.create ();
+              out = Buffer.create 4096;
+              flushing = false;
+              staging = Bytes.create 4096;
+              fd = None;
+              attempts = 0;
+              next_attempt = 0.0;
+            })
+          servers;
+      quorum;
+      rt_timeout;
+      max_rt_retries;
+      connect_retries;
+      connect_backoff;
+      routes = Hashtbl.create 16;
+      routes_lock = Mutex.create ();
+      demuxers = [];
+      ticker = None;
+      stopping = false;
+    }
+  in
+  (* Optimistic first dial; failures just leave the conn in backoff. *)
+  Array.iter
+    (fun c -> Mutex.protect c.lock (fun () -> ignore (try_connect t c)))
+    t.conns;
+  t.ticker <- Some (Thread.create (ticker_body t) ());
+  t
+
+let client t ~client =
+  let mb =
+    {
+      client;
+      mb_lock = Mutex.create ();
+      mb_cond = Condition.create ();
+      mb_rt = -1;
+      mb_from = Array.make (Array.length t.conns) false;
+      mb_replies = [];
+      mb_n = 0;
+      mb_late = 0;
+      mb_next_rt = 0;
+      mb_deadline = infinity;
+      mb_started = 0;
+      mb_completed = 0;
+      enc = Buffer.create 256;
+      out = Bytes.create 256;
+    }
+  in
+  Mutex.protect t.routes_lock (fun () -> Hashtbl.replace t.routes client mb);
+  { mux = t; mb }
+
+let release h =
+  Mutex.protect h.mux.routes_lock (fun () ->
+      match Hashtbl.find_opt h.mux.routes h.mb.client with
+      | Some mb when mb == h.mb -> Hashtbl.remove h.mux.routes h.mb.client
+      | _ -> ())
+
+let shutdown t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (* Severing the sockets pops every demux thread out of [read] and
+       fails any in-flight flusher's write. *)
+    Array.iter
+      (fun c ->
+        Mutex.protect c.lock (fun () ->
+            match c.fd with
+            | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+            | None -> ()))
+      t.conns;
+    let demuxers =
+      Mutex.protect t.routes_lock (fun () ->
+          let ds = t.demuxers in
+          t.demuxers <- [];
+          ds)
+    in
+    List.iter Thread.join demuxers;
+    (match t.ticker with
+    | Some th ->
+      Thread.join th;
+      t.ticker <- None
+    | None -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The round trip                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let exec h req k =
+  let t = h.mux and mb = h.mb in
+  let rt = mb.mb_next_rt in
+  mb.mb_next_rt <- rt + 1;
+  mb.mb_started <- mb.mb_started + 1;
+  Mutex.protect mb.mb_lock (fun () ->
+      mb.mb_rt <- rt;
+      Array.fill mb.mb_from 0 (Array.length mb.mb_from) false;
+      mb.mb_replies <- [];
+      mb.mb_n <- 0;
+      mb.mb_deadline <- now () +. t.rt_timeout);
+  (* Encode once; the same bytes go out on all S shared connections. *)
+  Codec.encode_into mb.enc (Codec.Request { rt; client = mb.client; req });
+  let len = Buffer.length mb.enc in
+  if len > Bytes.length mb.out then
+    mb.out <- Bytes.create (max len (2 * Bytes.length mb.out));
+  Buffer.blit mb.enc 0 mb.out 0 len;
+  let broadcast () =
+    Array.iter
+      (fun c ->
+        (* Racy read of [mb_from] outside the mailbox lock: the worst
+           case is a duplicate send to a server that replied this very
+           instant, and replica operations are idempotent. *)
+        if not mb.mb_from.(c.index) then ignore (enqueue t c mb.out len))
+      t.conns
+  in
+  broadcast ();
+  let attempt = ref 0 in
+  let give_up = ref false in
+  Mutex.lock mb.mb_lock;
+  while mb.mb_n < t.quorum && not !give_up do
+    Condition.wait mb.mb_cond mb.mb_lock;
+    if mb.mb_n < t.quorum && now () >= mb.mb_deadline then begin
+      (* Round-trip timed out: re-broadcast to the servers still
+         missing (reconnecting dropped links), bounded. *)
+      if !attempt >= t.max_rt_retries then give_up := true
+      else begin
+        incr attempt;
+        Mutex.unlock mb.mb_lock;
+        broadcast ();
+        Mutex.lock mb.mb_lock;
+        mb.mb_deadline <- now () +. t.rt_timeout
+      end
+    end
+  done;
+  let nreplies = mb.mb_n in
+  let replies = List.rev mb.mb_replies in
+  mb.mb_rt <- -1;
+  mb.mb_deadline <- infinity;
+  mb.mb_replies <- [];
+  Mutex.unlock mb.mb_lock;
+  if nreplies >= t.quorum then begin
+    mb.mb_completed <- mb.mb_completed + 1;
+    k replies
+  end
+  else
+    raise
+      (Unavailable
+         (Printf.sprintf "client %d: %d/%d replies after %d attempts of %.3fs"
+            mb.client nreplies t.quorum (!attempt + 1) t.rt_timeout))
+
+let rounds_started h = h.mb.mb_started
+
+let rounds_completed h = h.mb.mb_completed
+
+let late_replies h = h.mb.mb_late

@@ -1,0 +1,75 @@
+(** A multiplexed live data plane: one TCP connection per server per
+    process, shared by every client endpoint.
+
+    The per-client-socket transport ({!Endpoint.create}) opens [C × S]
+    sockets for [C] clients against [S] servers and spins a fresh
+    [select] poll loop inside every operation.  At production client
+    counts that drowns the paper's round-trip economics in transport
+    overhead.  The mux replaces it with:
+
+    - [S] shared connections, each written under a per-connection lock
+      with a reused encode buffer (no per-frame allocation once warm);
+    - one demux reader thread per connection that decodes [Reply] frames
+      and routes them by [(client, rt)] into per-client mailboxes
+      (mutex + condvar) — no [select], no per-iteration fd scans;
+    - {!exec} = encode once, enqueue on the [S] shared connections,
+      block on the caller's own mailbox until quorum or timeout.
+
+    The round-trip contract is unchanged from {!Endpoint}: broadcast to
+    all [S] servers, complete on the first [S − t] replies in arrival
+    order, count stragglers late, re-broadcast on timeout a bounded
+    number of times, raise {!Unavailable} when the retry budget is
+    spent.  Crashed servers sever their connection (the demux thread
+    sees EOF) and reconnects back off exponentially, so [t] real kills
+    remain survivable.
+
+    One {!handle} belongs to one client thread; operations are
+    sequential per client, so a single in-flight round trip per mailbox
+    suffices. *)
+
+exception Unavailable of string
+(** Raised by {!exec} when no quorum answered within the retry budget. *)
+
+type t
+(** The shared data plane: [S] connections plus their demux threads. *)
+
+type handle
+(** One client's view of the plane: a mailbox plus round-trip counters. *)
+
+val create :
+  ?rt_timeout:float ->
+  ?max_rt_retries:int ->
+  ?connect_retries:int ->
+  ?connect_backoff:float ->
+  servers:Unix.sockaddr array ->
+  quorum:int ->
+  unit ->
+  t
+(** Dial every server (tolerating failures) and start the demux
+    threads.  Parameter meanings and defaults match {!Endpoint.create}. *)
+
+val client : t -> client:int -> handle
+(** Register client [client] (its node id, {!Protocol.Topology}
+    numbering) and return its handle.  Registering the same id again
+    replaces the previous route. *)
+
+val exec :
+  handle -> Registers.Wire.req -> ((int * Registers.Wire.rep) list -> unit) -> unit
+(** One round trip over the shared connections.  The continuation
+    receives [(server_index, reply)] pairs in arrival order and runs in
+    the calling thread.
+    @raise Unavailable when fewer than [quorum] servers answered. *)
+
+val rounds_started : handle -> int
+val rounds_completed : handle -> int
+
+val late_replies : handle -> int
+(** Replies that arrived after their round trip had completed. *)
+
+val release : handle -> unit
+(** Unregister the client's route.  Replies still in flight for it are
+    dropped; the shared connections stay up for other clients. *)
+
+val shutdown : t -> unit
+(** Sever every connection, stop the demux and ticker threads, and join
+    them.  Idempotent. *)

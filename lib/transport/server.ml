@@ -10,7 +10,8 @@ type t = {
   conns_lock : Mutex.t;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
-  mutable handlers : Thread.t list;
+  handlers : (int, Thread.t) Hashtbl.t; (* keyed by thread id *)
+  mutable finished : Thread.t list; (* handlers ready to be reaped *)
 }
 
 (* A peer closing its socket mid-write must surface as EPIPE on that
@@ -24,9 +25,7 @@ let port t = t.port
 
 let replica t = t.replica
 
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = Bytes.length b in
+let write_all fd b n =
   let sent = ref 0 in
   while !sent < n do
     sent := !sent + Unix.write fd b !sent (n - !sent)
@@ -36,12 +35,18 @@ let remove_conn t fd =
   Mutex.protect t.conns_lock (fun () ->
       t.conns <- List.filter (fun c -> c != fd) t.conns)
 
-(* One thread per client connection: decode requests, run them through
-   the replica state machine (serialized — the full-info model's server
-   processes one message at a time), reply on the same connection. *)
+(* One thread per client connection.  With the multiplexed client plane
+   a connection carries the traffic of every client in that process, so
+   the loop is built for batches: all requests decoded from one [read]
+   are run through the replica under a single [replica_lock]
+   acquisition, and their replies leave in a single [write] from a
+   per-connection reused buffer — no per-frame allocation once warm. *)
 let handle_conn t fd =
   let stream = Codec.Stream.create () in
   let buf = Bytes.create 65536 in
+  let reply_buf = Buffer.create 4096 in
+  let frame_buf = Buffer.create 512 in
+  let out = ref (Bytes.create 4096) in
   (try
      let stop = ref false in
      while not !stop do
@@ -49,32 +54,73 @@ let handle_conn t fd =
        if n = 0 then stop := true
        else begin
          Codec.Stream.feed stream buf n;
-         let rec drain () =
+         (* Phase 1: drain every complete frame out of the stream. *)
+         let rec collect acc =
            match Codec.Stream.next stream with
-           | None -> ()
+           | None -> List.rev acc
            | Some (Codec.Reply _) ->
-             (* Only clients speak replies; a confused peer is cut off. *)
-             stop := true
+             (* Only servers speak replies; a confused peer is cut off. *)
+             stop := true;
+             List.rev acc
            | Some (Codec.Request { rt; client; req }) ->
-             let rep =
-               Mutex.protect t.replica_lock (fun () ->
-                   Replica.handle t.replica ~client req)
-             in
-             write_all fd (Codec.encode (Codec.Reply { rt; server = t.id; rep }));
-             drain ()
+             collect ((rt, client, req) :: acc)
          in
-         drain ()
+         let requests = collect [] in
+         if requests <> [] then begin
+           (* Phase 2: one lock acquisition for the whole batch — the
+              replica still processes messages one at a time (the
+              full-info model), but the lock traffic is per batch. *)
+           let reps =
+             Mutex.protect t.replica_lock (fun () ->
+                 List.map
+                   (fun (rt, client, req) ->
+                     (rt, client, Replica.handle t.replica ~client req))
+                   requests)
+           in
+           (* Phase 3: all replies in one write. *)
+           Buffer.clear reply_buf;
+           List.iter
+             (fun (rt, client, rep) ->
+               Codec.encode_into frame_buf
+                 (Codec.Reply { rt; client; server = t.id; rep });
+               Buffer.add_buffer reply_buf frame_buf)
+             reps;
+           let len = Buffer.length reply_buf in
+           if len > Bytes.length !out then
+             out := Bytes.create (max len (2 * Bytes.length !out));
+           Buffer.blit reply_buf 0 !out 0 len;
+           write_all fd !out len
+         end
        end
      done
    with _ -> ());
   remove_conn t fd;
-  try Unix.close fd with _ -> ()
+  (try Unix.close fd with _ -> ());
+  (* Hand ourselves to the accept loop for joining: handler threads must
+     not accumulate forever under connect/disconnect churn. *)
+  Mutex.protect t.conns_lock (fun () ->
+      t.finished <- Thread.self () :: t.finished)
+
+(* Join handler threads that have announced completion and forget them.
+   Runs in the accept loop (every timeout tick) and in [stop]. *)
+let reap t =
+  let done_ =
+    Mutex.protect t.conns_lock (fun () ->
+        let ds = t.finished in
+        t.finished <- [];
+        ds)
+  in
+  List.iter
+    (fun th ->
+      Hashtbl.remove t.handlers (Thread.id th);
+      Thread.join th)
+    done_
 
 let accept_loop t =
   while not t.stopping do
     (* Select with a timeout so [stop] wins even with no inbound
        connections; an actual connect wakes us immediately. *)
-    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    (match Unix.select [ t.listen_fd ] [] [] 0.2 with
     | [], _, _ -> ()
     | _ :: _, _, _ when t.stopping -> ()
     | _ :: _, _, _ -> (
@@ -84,7 +130,8 @@ let accept_loop t =
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
         Mutex.protect t.conns_lock (fun () -> t.conns <- fd :: t.conns);
         let th = Thread.create (handle_conn t) fd in
-        t.handlers <- th :: t.handlers)
+        Hashtbl.replace t.handlers (Thread.id th) th));
+    reap t
   done;
   try Unix.close t.listen_fd with _ -> ()
 
@@ -114,11 +161,15 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(id = 0) ~replica () =
       conns_lock = Mutex.create ();
       stopping = false;
       accept_thread = None;
-      handlers = [];
+      handlers = Hashtbl.create 16;
+      finished = [];
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
+
+let handler_count t =
+  Hashtbl.length t.handlers - List.length t.finished
 
 let stop t =
   if not t.stopping then begin
@@ -134,6 +185,7 @@ let stop t =
       Thread.join th;
       t.accept_thread <- None
     | None -> ());
-    List.iter Thread.join t.handlers;
-    t.handlers <- []
+    Hashtbl.iter (fun _ th -> Thread.join th) t.handlers;
+    Hashtbl.reset t.handlers;
+    Mutex.protect t.conns_lock (fun () -> t.finished <- [])
   end

@@ -6,7 +6,12 @@
     [updated] sets — and answers Query/Update requests per the paper's
     server algorithm (Algorithm 2).  One handler thread per client
     connection; replica access is serialized, matching the model's
-    one-message-at-a-time servers.
+    one-message-at-a-time servers.  Requests decoded from one socket
+    read are handled as a batch under a single lock acquisition and
+    answered in a single write — the fast path for multiplexed client
+    connections carrying many clients' traffic.  Handler threads of
+    closed connections are reaped continuously, so a long-lived daemon
+    does not leak a thread per connect/disconnect cycle.
 
     Servers never talk to each other (the model's communication
     restriction is structural here: nothing ever dials out). *)
@@ -29,6 +34,11 @@ val port : t -> int
 
 val replica : t -> Registers.Replica.t
 (** The hosted state machine (inspection/tests). *)
+
+val handler_count : t -> int
+(** Live connection-handler threads (announced-finished ones excluded).
+    Observability for tests: must return to 0 once every client has
+    disconnected and the reaper has run. *)
 
 val stop : t -> unit
 (** Crash the server: stop accepting, sever every client connection,

@@ -30,13 +30,65 @@ type result = {
   killed : int list;
 }
 
-let mean_rounds eps ops =
-  let rounds =
-    Array.fold_left (fun acc ep -> acc + Endpoint.rounds_completed ep) 0 eps
-  in
-  if ops = 0 then 0.0 else float_of_int rounds /. float_of_int ops
+(* One client's private operation log.  Clients record invocations and
+   responses into their own log with no shared lock — the wall-clock
+   reads and list pushes happen entirely in the owning thread — and the
+   logs merge into one History.t only after every thread has joined. *)
+type lop = {
+  l_kind : Op.kind;
+  l_inv : float;
+  mutable l_resp : float option;
+  mutable l_result : int option;
+  mutable l_rounds : int; (* completed round trips consumed by this op *)
+}
 
-let run ?(kill_at = []) ?rt_timeout ?max_rt_retries ~register ~cluster spec =
+let merge_history logs =
+  let ops =
+    List.concat_map
+      (fun (proc, lops) ->
+        List.rev_map
+          (fun l ->
+            {
+              Op.id = 0;
+              proc;
+              kind = l.l_kind;
+              inv = l.l_inv;
+              resp = l.l_resp;
+              result = l.l_result;
+            })
+          lops)
+      logs
+  in
+  (* Ids must be unique; assigning them along invocation order keeps the
+     numbering readable (History.of_ops re-sorts by (inv, id) anyway). *)
+  let ops =
+    List.sort
+      (fun (a : Op.t) b -> compare (a.Op.inv, a.Op.proc) (b.Op.inv, b.Op.proc))
+      ops
+  in
+  History.of_ops (List.mapi (fun id (o : Op.t) -> { o with Op.id }) ops)
+
+(* Mean round trips per *completed* operation.  Rounds spent inside an
+   operation that later failed with [Unavailable] (e.g. the Query round
+   of a two-round write whose Update round found no quorum) are excluded
+   from both numerator and denominator — a partially-failed op must not
+   skew the Table-1 rounds column. *)
+let mean_rounds logs =
+  let rounds = ref 0 and ops = ref 0 in
+  List.iter
+    (fun (_, lops) ->
+      List.iter
+        (fun l ->
+          if l.l_resp <> None then begin
+            rounds := !rounds + l.l_rounds;
+            incr ops
+          end)
+        lops)
+    logs;
+  if !ops = 0 then 0.0 else float_of_int !rounds /. float_of_int !ops
+
+let run ?(kill_at = []) ?transport ?rt_timeout ?max_rt_retries ~register
+    ~cluster spec =
   (match Registry.max_writers register with
   | Some m when spec.writers > m ->
     invalid_arg
@@ -45,58 +97,75 @@ let run ?(kill_at = []) ?rt_timeout ?max_rt_retries ~register ~cluster spec =
   | _ -> ());
   let algo = Registry.client_algo register in
   let cl =
-    Cluster.clients ?rt_timeout ?max_rt_retries cluster ~writers:spec.writers
-      ~readers:spec.readers
+    Cluster.clients ?transport ?rt_timeout ?max_rt_retries cluster
+      ~writers:spec.writers ~readers:spec.readers
   in
-  let recorder = Recorder.create () in
-  let rec_lock = Mutex.create () in
-  let unavailable = ref 0 in
-  let una_lock = Mutex.create () in
   let t0 = Unix.gettimeofday () in
   let now () = Unix.gettimeofday () -. t0 in
-  let writes_done = ref 0 in
-  let reads_done = ref 0 in
+  (* Per-thread result slots — no cross-thread mutation, no locks. *)
+  let writer_logs = Array.make spec.writers [] in
+  let reader_logs = Array.make spec.readers [] in
+  let writer_starved = Array.make spec.writers false in
+  let reader_starved = Array.make spec.readers false in
+  (* Distinct written values without a shared counter: writer [i] owns
+     the contiguous block starting at [initial_value + 1 + i * block]. *)
+  let value_base = History.initial_value + 1 in
   (* One OS thread per client, mirroring one plan per client in the
-     simulator.  The recorder is shared, hence the lock; operations
-     themselves run lock-free through the endpoints. *)
+     simulator.  Operations run lock-free through the endpoints; each
+     thread logs privately and the logs merge after the joins. *)
   let writer_body i () =
+    let ep = cl.Cluster.writer_eps.(i) in
     let write = algo.Client_core.new_writer cl.Cluster.ctx ~writer:i in
+    let log = ref [] in
     (try
-       for _ = 1 to spec.writes_per_writer do
-         let value, h =
-           Mutex.protect rec_lock (fun () ->
-               let value = Recorder.fresh_value recorder in
-               ( value,
-                 Recorder.begin_write recorder ~proc:(Op.Writer i) ~value
-                   ~now:(now ()) ))
+       for n = 0 to spec.writes_per_writer - 1 do
+         let value = value_base + (i * spec.writes_per_writer) + n in
+         let r0 = Endpoint.rounds_completed ep in
+         let l =
+           {
+             l_kind = Op.Write value;
+             l_inv = now ();
+             l_resp = None;
+             l_result = None;
+             l_rounds = 0;
+           }
          in
+         log := l :: !log;
          write ~payload:value ~k:(fun _tag ->
-             Mutex.protect rec_lock (fun () ->
-                 incr writes_done;
-                 Recorder.finish_write recorder h ~now:(now ())));
+             l.l_resp <- Some (now ());
+             l.l_rounds <- Endpoint.rounds_completed ep - r0);
          if spec.write_think > 0.0 then Thread.delay spec.write_think
        done
-     with Endpoint.Unavailable _ ->
-       Mutex.protect una_lock (fun () -> incr unavailable));
-    Endpoint.close cl.Cluster.writer_eps.(i)
+     with Endpoint.Unavailable _ -> writer_starved.(i) <- true);
+    writer_logs.(i) <- !log;
+    Endpoint.close ep
   in
   let reader_body j () =
+    let ep = cl.Cluster.reader_eps.(j) in
     let read = algo.Client_core.new_reader cl.Cluster.ctx ~reader:j in
+    let log = ref [] in
     (try
        for _ = 1 to spec.reads_per_reader do
-         let h =
-           Mutex.protect rec_lock (fun () ->
-               Recorder.begin_read recorder ~proc:(Op.Reader j) ~now:(now ()))
+         let r0 = Endpoint.rounds_completed ep in
+         let l =
+           {
+             l_kind = Op.Read;
+             l_inv = now ();
+             l_resp = None;
+             l_result = None;
+             l_rounds = 0;
+           }
          in
+         log := l :: !log;
          read ~k:(fun value _tag ->
-             Mutex.protect rec_lock (fun () ->
-                 incr reads_done;
-                 Recorder.finish_read recorder h ~now:(now ()) ~result:value));
+             l.l_resp <- Some (now ());
+             l.l_result <- Some value;
+             l.l_rounds <- Endpoint.rounds_completed ep - r0);
          if spec.read_think > 0.0 then Thread.delay spec.read_think
        done
-     with Endpoint.Unavailable _ ->
-       Mutex.protect una_lock (fun () -> incr unavailable));
-    Endpoint.close cl.Cluster.reader_eps.(j)
+     with Endpoint.Unavailable _ -> reader_starved.(j) <- true);
+    reader_logs.(j) <- !log;
+    Endpoint.close ep
   in
   let killer =
     match kill_at with
@@ -126,13 +195,24 @@ let run ?(kill_at = []) ?rt_timeout ?max_rt_retries ~register ~cluster spec =
       0
       (Array.append cl.Cluster.writer_eps cl.Cluster.reader_eps)
   in
+  Cluster.close_clients cl;
+  let wlogs =
+    List.init spec.writers (fun i -> (Op.Writer i, writer_logs.(i)))
+  in
+  let rlogs =
+    List.init spec.readers (fun j -> (Op.Reader j, reader_logs.(j)))
+  in
+  let unavailable =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+      (Array.append writer_starved reader_starved)
+  in
   {
-    history = Recorder.snapshot recorder;
+    history = merge_history (wlogs @ rlogs);
     duration;
-    write_rounds = mean_rounds cl.Cluster.writer_eps !writes_done;
-    read_rounds = mean_rounds cl.Cluster.reader_eps !reads_done;
+    write_rounds = mean_rounds wlogs;
+    read_rounds = mean_rounds rlogs;
     late;
-    unavailable = !unavailable;
+    unavailable;
     killed =
       List.filter
         (fun i -> not (List.mem i (Cluster.running cluster)))

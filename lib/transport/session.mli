@@ -6,7 +6,15 @@
     sockets, every operation is recorded with wall-clock timestamps, and
     the finished history feeds the very same atomicity checkers as the
     simulated runs — the live backend cross-checks the simulator and
-    vice versa. *)
+    vice versa.
+
+    Recording is contention-free: each client thread timestamps and logs
+    its own operations privately (no shared recorder lock on the hot
+    path); the per-client logs are merged into one {!Histories.History.t}
+    after every thread has joined.  Round-trip accounting only counts
+    rounds of operations that completed — rounds burned inside an
+    operation that later aborted with [Unavailable] are discarded, so a
+    crash mid-run cannot skew the Table-1 rounds columns. *)
 
 type spec = {
   writers : int;
@@ -38,6 +46,7 @@ type result = {
 
 val run :
   ?kill_at:(float * int) list ->
+  ?transport:Cluster.transport ->
   ?rt_timeout:float ->
   ?max_rt_retries:int ->
   register:Protocol.Register_intf.t ->
@@ -46,5 +55,7 @@ val run :
   result
 (** Run [spec] against [cluster] with [register]'s client algorithm.
     [kill_at] schedules real crashes: [(secs, server)] kills [server]
-    that many seconds into the run.  Raises [Invalid_argument] if [spec]
-    exceeds the protocol's writer bound ({!Registers.Registry.max_writers}). *)
+    that many seconds into the run.  [transport] picks the data plane
+    (default [`Mux], see {!Cluster.transport}).  Raises
+    [Invalid_argument] if [spec] exceeds the protocol's writer bound
+    ({!Registers.Registry.max_writers}). *)

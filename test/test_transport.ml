@@ -29,10 +29,16 @@ let sample_frames =
         req = Wire.Update (value max_int 11 min_int);
       };
     Codec.Reply
-      { rt = 42; server = 4; rep = Wire.Write_ack { current = value 5 1 500 } };
+      {
+        rt = 42;
+        client = 8;
+        server = 4;
+        rep = Wire.Write_ack { current = value 5 1 500 };
+      };
     Codec.Reply
       {
         rt = 9;
+        client = 12;
         server = 0;
         rep =
           Wire.Read_ack
@@ -65,7 +71,12 @@ let test_codec_large_vector () =
   in
   let f =
     Codec.Reply
-      { rt = 1; server = 2; rep = Wire.Read_ack { current = value 5_000 0 1; vector } }
+      {
+        rt = 1;
+        client = 6;
+        server = 2;
+        rep = Wire.Read_ack { current = value 5_000 0 1; vector };
+      }
   in
   let s = Codec.encode f in
   check bool "large frame survives" true (Codec.decode s = f);
@@ -153,15 +164,19 @@ let frame_gen =
   frequency
     [
       (1, map (fun req -> Codec.Request { rt; client = peer; req }) req_gen);
-      (1, map (fun rep -> Codec.Reply { rt; server = peer; rep }) rep_gen);
+      ( 1,
+        let* client = int_bound 1000 in
+        map (fun rep -> Codec.Reply { rt; client; server = peer; rep }) rep_gen
+      );
     ]
 
 let frame_print f =
   match f with
   | Codec.Request { rt; client; req } ->
     Format.asprintf "req rt=%d client=%d %a" rt client Wire.pp_req req
-  | Codec.Reply { rt; server; rep } ->
-    Format.asprintf "rep rt=%d server=%d %a" rt server Wire.pp_rep rep
+  | Codec.Reply { rt; client; server; rep } ->
+    Format.asprintf "rep rt=%d client=%d server=%d %a" rt client server
+      Wire.pp_rep rep
 
 let codec_roundtrip_prop =
   QCheck.Test.make
@@ -179,6 +194,21 @@ let codec_prefix_prop =
       let s = Codec.encode f in
       let cut = String.length s / 2 in
       rejects (String.sub s 0 cut))
+
+let codec_encode_into_prop =
+  (* The zero-allocation fast path must be byte-identical to [encode],
+     the buffer must be cleared of stale content, and the sizing pass
+     must predict the exact frame length. *)
+  let b = Buffer.create 16 in
+  QCheck.Test.make
+    ~name:"encode_into = encode, frame_size exact, buffer reusable"
+    ~count:500
+    (QCheck.make ~print:frame_print frame_gen)
+    (fun f ->
+      Buffer.add_string b "stale bytes from the previous frame";
+      Codec.encode_into b f;
+      let s = Buffer.contents b in
+      s = Codec.encode f && String.length s = Codec.frame_size f)
 
 (* ------------------------------------------------------------------ *)
 (* Stream reassembly                                                    *)
@@ -280,6 +310,118 @@ let test_server_survives_garbage () =
   Endpoint.close ep;
   Server.stop server
 
+let test_server_reaps_handlers () =
+  (* Connect/disconnect churn must not leak a handler thread per
+     connection: after every client is gone the reaper brings the live
+     handler count back to zero. *)
+  let replica = Replica.create () in
+  let server = Server.start ~id:0 ~replica () in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server) in
+  for round = 1 to 10 do
+    let ep = Endpoint.create ~client:round ~servers:[| addr |] ~quorum:1 () in
+    let ok = ref false in
+    Endpoint.exec ep (Wire.Update (value round 0 (round * 3))) (fun _ ->
+        ok := true);
+    check bool "op served" true !ok;
+    Endpoint.close ep
+  done;
+  (* The reaper runs on the accept loop's 0.2s select tick. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Server.handler_count server > 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.05
+  done;
+  check int "all handler threads reaped" 0 (Server.handler_count server);
+  Server.stop server
+
+(* ------------------------------------------------------------------ *)
+(* Mux: the shared-connection client plane                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mux_interleaved_clients () =
+  (* Many concurrent clients over ONE shared connection per server: the
+     demux must route every reply to the mailbox that opened the round
+     trip.  Any cross-client delivery would either strand an exec (its
+     quorum never fills → Unavailable) or surface as a late/dropped
+     frame, so "every op completes, exactly one round trip each, zero
+     late replies" is a routing-correctness certificate. *)
+  let replica = Replica.create () in
+  let server = Server.start ~id:0 ~replica () in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server) in
+  let mux = Mux.create ~servers:[| addr |] ~quorum:1 () in
+  let n_clients = 8 and ops = 40 in
+  let completed = Array.make n_clients 0 in
+  let failures = Array.make n_clients None in
+  let handles = Array.init n_clients (fun c -> Mux.client mux ~client:(100 + c)) in
+  let body c () =
+    let h = handles.(c) in
+    try
+      for n = 1 to ops do
+        let ts = (c * 10_000) + n in
+        let req =
+          if n mod 3 = 0 then Wire.Query []
+          else Wire.Update (value ts c ((ts * 7) + c))
+        in
+        Mux.exec h req (fun replies ->
+            match replies with
+            | [ (0, _) ] -> completed.(c) <- completed.(c) + 1
+            | rs ->
+              failures.(c) <-
+                Some (Printf.sprintf "client %d: %d replies" c (List.length rs)))
+      done
+    with Mux.Unavailable msg -> failures.(c) <- Some msg
+  in
+  let threads = List.init n_clients (fun c -> Thread.create (body c) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun c f ->
+      match f with
+      | Some msg -> Alcotest.failf "client %d failed: %s" c msg
+      | None ->
+        check int "every op completed" ops completed.(c);
+        check int "one round trip per op" ops
+          (Mux.rounds_completed handles.(c));
+        check int "no stray deliveries" 0 (Mux.late_replies handles.(c)))
+    failures;
+  Array.iter Mux.release handles;
+  Mux.shutdown mux;
+  Server.stop server
+
+let test_mux_quorum_with_dead_server () =
+  (* Quorum semantics on the shared plane: with one of three servers
+     never reachable, execs still complete on the surviving quorum. *)
+  let replicas = Array.init 2 (fun _ -> Replica.create ()) in
+  let servers =
+    Array.mapi (fun i r -> Server.start ~id:i ~replica:r ()) replicas
+  in
+  let dead = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  (* Bound but never listening: connects are refused. *)
+  let dead_port =
+    match Unix.getsockname dead with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let addr p = Unix.ADDR_INET (Unix.inet_addr_loopback, p) in
+  let addrs =
+    [|
+      addr (Server.port servers.(0));
+      addr dead_port;
+      addr (Server.port servers.(1));
+    |]
+  in
+  let mux =
+    Mux.create ~rt_timeout:0.2 ~servers:addrs ~quorum:2 ()
+  in
+  let h = Mux.client mux ~client:50 in
+  let got = ref [] in
+  Mux.exec h (Wire.Update (value 1 0 11)) (fun rs -> got := List.map fst rs);
+  check bool "quorum from live servers" true
+    (List.sort compare !got = [ 0; 2 ]);
+  Mux.release h;
+  Mux.shutdown mux;
+  (try Unix.close dead with _ -> ());
+  Array.iter Server.stop servers
+
 (* ------------------------------------------------------------------ *)
 (* Live cluster runs                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -287,11 +429,14 @@ let test_server_survives_garbage () =
 let atomic history =
   match Checker.Atomicity.check history with Ok () -> true | Error _ -> false
 
-let run_live ?kill_at ?(rt_timeout = 0.5) ~register ~s ~tol spec =
+let run_live ?kill_at ?transport ?(rt_timeout = 0.5) ?max_rt_retries ~register
+    ~s ~tol spec =
   let cluster = Cluster.start ~s ~tol () in
   Fun.protect
     ~finally:(fun () -> Cluster.shutdown cluster)
-    (fun () -> Session.run ?kill_at ~rt_timeout ~register ~cluster spec)
+    (fun () ->
+      Session.run ?kill_at ?transport ~rt_timeout ?max_rt_retries ~register
+        ~cluster spec)
 
 let test_live_ls97_atomic () =
   let res =
@@ -339,12 +484,30 @@ let test_live_single_writer_guard () =
         | _ -> false
         | exception Invalid_argument _ -> true))
 
-let test_live_survives_t_kills () =
+let test_live_ls97_sockets_path () =
+  (* The baseline private-sockets plane stays a first-class citizen: the
+     same workload must pass over [`Sockets] as over the default mux. *)
+  let res =
+    run_live ~transport:`Sockets ~register:Registry.abd_mwmr ~s:3 ~tol:1
+      {
+        Session.default_spec with
+        writers = 2;
+        readers = 2;
+        writes_per_writer = 10;
+        reads_per_reader = 15;
+      }
+  in
+  check bool "history atomic" true (atomic res.Session.history);
+  check int "no client starved" 0 res.Session.unavailable;
+  check bool "writes take two rounds" true (res.Session.write_rounds = 2.0)
+
+let test_live_survives_t_kills transport () =
   (* S=5 t=2: kill two real server processes mid-run.  The remaining
      quorum of 3 must keep completing operations and the history must
-     still be atomic — the acceptance bar for the live transport. *)
+     still be atomic — the acceptance bar for the live transport, on
+     both data planes. *)
   let res =
-    run_live
+    run_live ~transport
       ~kill_at:[ (0.02, 0); (0.05, 3) ]
       ~register:Registry.abd_mwmr ~s:5 ~tol:2
       {
@@ -362,6 +525,37 @@ let test_live_survives_t_kills () =
   check bool "all writes completed" true
     (List.for_all Histories.Op.is_complete
        (Histories.History.ops res.Session.history))
+
+let test_rounds_accounting_under_overkill () =
+  (* Kill MORE servers than the protocol tolerates, with a short timeout
+     and no retries, so some clients abort mid-operation.  The rounds an
+     aborted op burned before failing (e.g. the Query round of a
+     two-round write whose Update found no quorum) must NOT leak into
+     the per-op means: every completed LS97 write is exactly 2 rounds,
+     so the mean over completed ops stays exactly 2.0 (or 0 if nothing
+     completed) no matter where the crash landed. *)
+  let res =
+    run_live
+      ~kill_at:[ (0.03, 0); (0.03, 1) ]
+      ~rt_timeout:0.05 ~max_rt_retries:0 ~register:Registry.abd_mwmr ~s:3
+      ~tol:1
+      {
+        Session.writers = 2;
+        readers = 2;
+        writes_per_writer = 50;
+        reads_per_reader = 50;
+        write_think = 0.002;
+        read_think = 0.002;
+      }
+  in
+  check bool "quorum genuinely lost" true (res.Session.unavailable > 0);
+  check bool "completed writes average exactly two rounds" true
+    (res.Session.write_rounds = 2.0 || res.Session.write_rounds = 0.0);
+  check bool "completed reads average exactly two rounds" true
+    (res.Session.read_rounds = 2.0 || res.Session.read_rounds = 0.0);
+  (* The merged history may end with pending ops (the aborted ones) but
+     everything that responded must still be atomic. *)
+  check bool "history atomic" true (atomic res.Session.history)
 
 let test_live_adaptive_atomic () =
   (* The adaptive register beyond the fast-read threshold, on sockets. *)
@@ -393,6 +587,7 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
           QCheck_alcotest.to_alcotest codec_roundtrip_prop;
           QCheck_alcotest.to_alcotest codec_prefix_prop;
+          QCheck_alcotest.to_alcotest codec_encode_into_prop;
         ] );
       ( "stream",
         [
@@ -404,18 +599,31 @@ let () =
           Alcotest.test_case "round trips" `Quick test_server_roundtrip;
           Alcotest.test_case "survives garbage peers" `Quick
             test_server_survives_garbage;
+          Alcotest.test_case "reaps finished handlers" `Quick
+            test_server_reaps_handlers;
+        ] );
+      ( "mux",
+        [
+          Alcotest.test_case "interleaved clients, one shared conn" `Quick
+            test_mux_interleaved_clients;
+          Alcotest.test_case "quorum despite dead server" `Quick
+            test_mux_quorum_with_dead_server;
         ] );
       ( "live",
         [
-          Alcotest.test_case "LS97 atomic on sockets" `Quick
-            test_live_ls97_atomic;
+          Alcotest.test_case "LS97 atomic (mux)" `Quick test_live_ls97_atomic;
+          Alcotest.test_case "LS97 atomic (private sockets)" `Quick
+            test_live_ls97_sockets_path;
           Alcotest.test_case "W2R1 one-round reads" `Quick
             test_live_w2r1_fast_read;
           Alcotest.test_case "single-writer guard" `Quick
             test_live_single_writer_guard;
-          Alcotest.test_case "survives t kills" `Quick
-            test_live_survives_t_kills;
-          Alcotest.test_case "adaptive atomic on sockets" `Quick
-            test_live_adaptive_atomic;
+          Alcotest.test_case "survives t kills (mux)" `Quick
+            (test_live_survives_t_kills `Mux);
+          Alcotest.test_case "survives t kills (sockets)" `Quick
+            (test_live_survives_t_kills `Sockets);
+          Alcotest.test_case "rounds accounting under overkill" `Quick
+            test_rounds_accounting_under_overkill;
+          Alcotest.test_case "adaptive atomic" `Quick test_live_adaptive_atomic;
         ] );
     ]
