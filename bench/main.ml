@@ -743,6 +743,40 @@ type live_row = {
   l_atomic : bool;
 }
 
+type chaos_soak_row = {
+  ch_name : string;
+  ch_transport : string; (* "mux" or "sockets" *)
+  ch_seed : int;
+  ch_drop : float;
+  ch_delay : float;
+  ch_duplicate : float;
+  ch_restarted : bool;
+  ch_ops : int;
+  ch_duration : float;
+  ch_write_rounds : float;
+  ch_read_rounds : float;
+  ch_retries : int;
+  ch_late : int;
+  ch_unavailable : int;
+  ch_atomic : bool;
+  ch_expected : bool; (* Bounds.possible at the soak's (s,t,w,r) *)
+}
+
+type chaos_restart_row = {
+  cr_mode : string; (* "recover" or "fresh" *)
+  cr_transport : string;
+  cr_atomic : bool;
+  cr_witness : string option;
+  cr_read_value : int option;
+}
+
+(* Base seed for the chaos soak; each row derives its own seed from it
+   so the whole sweep replays from one number (--chaos-seed N). *)
+let chaos_seed = ref 0
+
+let chaos_soak_rows : chaos_soak_row list ref = ref []
+let chaos_restart_rows : chaos_restart_row list ref = ref []
+
 let micro_section : micro_section option ref = ref None
 
 let live_rows : live_row list ref = ref []
@@ -762,11 +796,14 @@ let json_escape s =
   Buffer.contents buf
 
 let write_bench_results () =
-  if !micro_section <> None || !live_rows <> [] || !scaling_rows <> [] then begin
+  if
+    !micro_section <> None || !live_rows <> [] || !scaling_rows <> []
+    || !chaos_soak_rows <> [] || !chaos_restart_rows <> []
+  then begin
     let oc = open_out bench_results_path in
     let out fmt = Printf.fprintf oc fmt in
     out "{\n";
-    out "  \"generated_by\": \"dune exec bench/main.exe -- micro live\",\n";
+    out "  \"generated_by\": \"dune exec bench/main.exe -- micro live chaos\",\n";
     out "  \"recommended_domain_count\": %d" (Domain.recommended_domain_count ());
     (match !micro_section with
     | None -> ()
@@ -844,6 +881,52 @@ let write_bench_results () =
           out "    }%s\n" (if i = n - 1 then "" else ","))
         rows;
       out "  ]");
+    (match (List.rev !chaos_soak_rows, List.rev !chaos_restart_rows) with
+    | [], [] -> ()
+    | soak, restart ->
+      out ",\n  \"chaos\": {\n";
+      out "    \"base_seed\": %d,\n" !chaos_seed;
+      out "    \"soak\": [\n";
+      let n = List.length soak in
+      List.iteri
+        (fun i r ->
+          out "      {\n";
+          out "        \"protocol\": \"%s\",\n" (json_escape r.ch_name);
+          out "        \"transport\": \"%s\",\n" r.ch_transport;
+          out "        \"seed\": %d,\n" r.ch_seed;
+          out "        \"drop\": %.3f, \"delay_s\": %.3f, \"duplicate\": %.3f,\n"
+            r.ch_drop r.ch_delay r.ch_duplicate;
+          out "        \"restarted\": %b,\n" r.ch_restarted;
+          out "        \"ops\": %d,\n" r.ch_ops;
+          out "        \"duration_s\": %.6f,\n" r.ch_duration;
+          out "        \"write_rounds_per_op\": %.2f,\n" r.ch_write_rounds;
+          out "        \"read_rounds_per_op\": %.2f,\n" r.ch_read_rounds;
+          out "        \"retries\": %d,\n" r.ch_retries;
+          out "        \"late\": %d,\n" r.ch_late;
+          out "        \"unavailable\": %d,\n" r.ch_unavailable;
+          out "        \"atomic\": %b,\n" r.ch_atomic;
+          out "        \"expected_atomic\": %b\n" r.ch_expected;
+          out "      }%s\n" (if i = n - 1 then "" else ","))
+        soak;
+      out "    ],\n";
+      out "    \"restart\": [\n";
+      let n = List.length restart in
+      List.iteri
+        (fun i r ->
+          out "      {\n";
+          out "        \"mode\": \"%s\",\n" r.cr_mode;
+          out "        \"transport\": \"%s\",\n" r.cr_transport;
+          out "        \"atomic\": %b,\n" r.cr_atomic;
+          (match r.cr_read_value with
+          | Some v -> out "        \"read_value\": %d,\n" v
+          | None -> out "        \"read_value\": null,\n");
+          (match r.cr_witness with
+          | Some w -> out "        \"witness\": \"%s\"\n" (json_escape w)
+          | None -> out "        \"witness\": null\n");
+          out "      }%s\n" (if i = n - 1 then "" else ","))
+        restart;
+      out "    ]\n";
+      out "  }");
     out "\n}\n";
     close_out oc;
     Printf.printf "\nwrote %s\n" bench_results_path
@@ -1013,6 +1096,97 @@ let live_exp () =
     "\nShape check: the sockets path pays for C x S descriptors and a select\n\
      scan per operation, so it falls behind as C grows; the shared plane's\n\
      throughput keeps climbing with concurrency on the same S connections.\n"
+
+(* ------------------------------------------------------------------ *)
+(* CH: the chaos soak                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_exp () =
+  Gc.compact ();
+  section "CH. Chaos soak: seeded fault schedules over the live transport";
+  Printf.printf
+    "Each row: a fresh S=5 t=1 cluster whose every link drops, delays and\n\
+     duplicates frames under a deterministic seeded plan, with one server\n\
+     killed mid-run and restarted from its recovered snapshot.  Inside the\n\
+     possible regimes the verdict must stay atomic: lossy links may only\n\
+     show up as round-trip retries, never as a consistency violation.\n\n";
+  row "%-28s %-9s %-6s %-5s %-8s %-9s %-9s %-8s %s\n" "protocol" "path" "seed"
+    "ops" "retries" "write-rt" "read-rt" "atomic" "expected";
+  row "%s\n" (String.make 96 '-');
+  let ops = max 2 (!live_ops / 2) in
+  let base = !chaos_seed in
+  let i = ref 0 in
+  List.iter
+    (fun register ->
+      List.iter
+        (fun (path, transport) ->
+          (* Same hygiene as the scaling sweep: no row inherits its
+             predecessor's teardown debris. *)
+          Gc.compact ();
+          Unix.sleepf 0.15;
+          let seed = base + !i in
+          incr i;
+          let sk = Transport.Chaos.soak ~transport ~seed ~ops ~register () in
+          let res = sk.Transport.Chaos.result in
+          let n_ops = Histories.History.length res.Transport.Session.history in
+          let name = Registers.Registry.name register in
+          row "%-28s %-9s %-6d %-5d %-8d %-9.2f %-9.2f %-8b %b\n" name path
+            seed n_ops res.Transport.Session.retries
+            res.Transport.Session.write_rounds res.Transport.Session.read_rounds
+            sk.Transport.Chaos.atomic sk.Transport.Chaos.expected_atomic;
+          chaos_soak_rows :=
+            {
+              ch_name = name;
+              ch_transport = path;
+              ch_seed = seed;
+              ch_drop = sk.Transport.Chaos.drop;
+              ch_delay = sk.Transport.Chaos.delay;
+              ch_duplicate = sk.Transport.Chaos.duplicate;
+              ch_restarted = sk.Transport.Chaos.restarted;
+              ch_ops = n_ops;
+              ch_duration = res.Transport.Session.duration;
+              ch_write_rounds = res.Transport.Session.write_rounds;
+              ch_read_rounds = res.Transport.Session.read_rounds;
+              ch_retries = res.Transport.Session.retries;
+              ch_late = res.Transport.Session.late;
+              ch_unavailable = res.Transport.Session.unavailable;
+              ch_atomic = sk.Transport.Chaos.atomic;
+              ch_expected = sk.Transport.Chaos.expected_atomic;
+            }
+            :: !chaos_soak_rows)
+        [ ("mux", `Mux); ("sockets", `Sockets) ])
+    Registers.Registry.multi_writer;
+  (* The deterministic restart-fidelity script: both halves of the
+     crash-stop argument, on both data planes. *)
+  Printf.printf
+    "\nRestart fidelity (S=3 t=1, write confined to {0,1}, read to {0,2},\n\
+     server 0 killed and restarted between them):\n\n";
+  row "%-10s %-9s %-8s %s\n" "mode" "path" "atomic" "read";
+  row "%s\n" (String.make 48 '-');
+  List.iter
+    (fun (path, transport) ->
+      List.iter
+        (fun (mode_name, mode) ->
+          let o = Transport.Chaos.restart_scenario ~transport ~mode () in
+          row "%-10s %-9s %-8b %s\n" mode_name path o.Transport.Chaos.atomic
+            (match o.Transport.Chaos.read_value with
+            | Some v -> string_of_int v
+            | None -> "-");
+          chaos_restart_rows :=
+            {
+              cr_mode = mode_name;
+              cr_transport = path;
+              cr_atomic = o.Transport.Chaos.atomic;
+              cr_witness = o.Transport.Chaos.witness;
+              cr_read_value = o.Transport.Chaos.read_value;
+            }
+            :: !chaos_restart_rows)
+        [ ("recover", `Recover); ("fresh", `Fresh) ])
+    [ ("mux", `Mux); ("sockets", `Sockets) ];
+  Printf.printf
+    "\nShape check: recover-restarts behave as slow servers (atomic, as the\n\
+     paper's crash-stop model promises); a fresh restart forgets an\n\
+     acknowledged write and the checker catches it with a witness.\n"
 
 let micro () =
   section "B*. Bechamel micro-benchmarks (one Test.make per table/figure path)";
@@ -1254,6 +1428,7 @@ let experiments =
     ("wk", w1rk);
     ("ex", exhaustive);
     ("live", live_exp);
+    ("chaos", chaos_exp);
     ("micro", micro);
   ]
 
@@ -1274,6 +1449,19 @@ let () =
         (match int_of_string_opt (String.sub arg 11 (String.length arg - 11)) with
         | Some k when k >= 1 -> live_ops := k
         | _ -> ());
+        go domains acc rest
+      | "--chaos-seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k -> chaos_seed := k
+        | None -> ());
+        go domains acc rest
+      | arg :: rest
+        when String.length arg > 13 && String.sub arg 0 13 = "--chaos-seed=" ->
+        (match
+           int_of_string_opt (String.sub arg 13 (String.length arg - 13))
+         with
+        | Some k -> chaos_seed := k
+        | None -> ());
         go domains acc rest
       | arg :: rest -> go domains (arg :: acc) rest
     in

@@ -296,6 +296,89 @@ let check_scaling path = function
       entries
   | _ -> err path "expected an array"
 
+(* The chaos section carries semantics, not just shape: the soak's
+   verdicts must match the theory (atomic wherever the design point is
+   possible) and the restart-fidelity script must show both halves of
+   the crash-stop argument — recover atomic, fresh caught with a
+   witness. *)
+
+let want_bool_value obj path key =
+  match field obj path key with
+  | Some (Bool b) -> Some b
+  | Some _ ->
+    err (path ^ "." ^ key) "expected a bool";
+    None
+  | None ->
+    err path (Printf.sprintf "missing key %S" key);
+    None
+
+let check_chaos path = function
+  | Obj _ as chaos ->
+    non_negative chaos path "base_seed";
+    (match field chaos path "soak" with
+    | Some (List entries) ->
+      if entries = [] then err (path ^ ".soak") "empty";
+      List.iteri
+        (fun i e ->
+          let p = Printf.sprintf "%s.soak[%d]" path i in
+          ignore (want_string e p "protocol");
+          (match want_string e p "transport" with
+          | Some ("mux" | "sockets") | None -> ()
+          | Some other ->
+            err (p ^ ".transport") (Printf.sprintf "unknown transport %S" other));
+          non_negative e p "seed";
+          non_negative e p "drop";
+          non_negative e p "delay_s";
+          non_negative e p "duplicate";
+          want_bool e p "restarted";
+          positive e p "ops";
+          positive e p "duration_s";
+          positive e p "write_rounds_per_op";
+          positive e p "read_rounds_per_op";
+          non_negative e p "retries";
+          non_negative e p "late";
+          non_negative e p "unavailable";
+          match
+            (want_bool_value e p "atomic", want_bool_value e p "expected_atomic")
+          with
+          | Some false, Some true ->
+            err p "non-atomic in a possible regime: chaos broke the protocol"
+          | _ -> ())
+        entries
+    | Some _ -> err (path ^ ".soak") "expected an array"
+    | None -> err path "missing key \"soak\"");
+    (match field chaos path "restart" with
+    | Some (List entries) ->
+      if entries = [] then err (path ^ ".restart") "empty";
+      List.iteri
+        (fun i e ->
+          let p = Printf.sprintf "%s.restart[%d]" path i in
+          (match want_string e p "transport" with
+          | Some ("mux" | "sockets") | None -> ()
+          | Some other ->
+            err (p ^ ".transport") (Printf.sprintf "unknown transport %S" other));
+          let mode = want_string e p "mode" in
+          let atomic = want_bool_value e p "atomic" in
+          let witness = field e p "witness" in
+          match mode with
+          | Some "recover" ->
+            if atomic = Some false then
+              err p "restart-with-recovery must preserve atomicity"
+          | Some "fresh" ->
+            if atomic = Some true then
+              err p "fresh restart must lose the write and fail the checker";
+            (match witness with
+            | Some (Str w) when w <> "" -> ()
+            | Some Null | None ->
+              err (p ^ ".witness") "fresh restart must record a checker witness"
+            | Some _ -> err (p ^ ".witness") "expected a non-empty string")
+          | Some other -> err (p ^ ".mode") (Printf.sprintf "unknown mode %S" other)
+          | None -> ())
+        entries
+    | Some _ -> err (path ^ ".restart") "expected an array"
+    | None -> err path "missing key \"restart\"")
+  | _ -> err path "expected an object"
+
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json" in
   let contents =
@@ -329,8 +412,11 @@ let () =
   section "micro_ns_per_run" check_micro;
   section "live" check_live;
   section "live_scaling" check_scaling;
+  section "chaos" check_chaos;
   if !optional = 0 then
-    err "$" "no result section present (wall_clock / micro_ns_per_run / live / live_scaling)";
+    err "$"
+      "no result section present (wall_clock / micro_ns_per_run / live / \
+       live_scaling / chaos)";
   match List.rev !errors with
   | [] ->
     Printf.printf "%s: schema OK (%d section(s))\n" path !optional;

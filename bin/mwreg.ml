@@ -629,6 +629,127 @@ let live_cmd =
           $ ops $ connect $ kills $ think $ transport $ rt_timeout)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let chaos protocol scenario transport seed drop delay duplicate ops s tol =
+  let transport =
+    match transport with
+    | "mux" -> Ok `Mux
+    | "sockets" -> Ok `Sockets
+    | other -> Error (Printf.sprintf "unknown transport %S (mux|sockets)" other)
+  in
+  match (scenario, transport) with
+  | _, Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+  | "soak", Ok transport -> (
+    match find_protocol protocol with
+    | None ->
+      Printf.eprintf "unknown protocol %S\n" protocol;
+      exit 1
+    | Some register ->
+      let sk =
+        Live.Chaos.soak ~transport ~seed ~drop ~delay ~duplicate ~s ~tol ~ops
+          ~register ()
+      in
+      let res = sk.Live.Chaos.result in
+      Format.printf "protocol    : %s@." (Registry.name register);
+      Format.printf
+        "faults      : drop %.2f, delay <= %.3fs, duplicate %.2f (seed %d)@."
+        drop delay duplicate seed;
+      Format.printf "restart     : %s@."
+        (if sk.Live.Chaos.restarted then
+           "one server killed mid-run, restarted with recovered state"
+         else "none");
+      Format.printf "ops         : %d in %.3fs; retries %d, late %d@."
+        (History.length res.Live.Session.history)
+        res.Live.Session.duration res.Live.Session.retries
+        res.Live.Session.late;
+      Format.printf "round trips : write %.2f/op, read %.2f/op@."
+        res.Live.Session.write_rounds res.Live.Session.read_rounds;
+      if res.Live.Session.unavailable > 0 then
+        Format.printf "starved     : %d client(s) gave up without a quorum@."
+          res.Live.Session.unavailable;
+      Format.printf "atomicity   : %s (theory: %s)@."
+        (if sk.Live.Chaos.atomic then "OK" else "VIOLATED")
+        (if sk.Live.Chaos.expected_atomic then
+           "possible regime — chaos must not break it"
+         else "impossible regime — no guarantee");
+      if sk.Live.Chaos.expected_atomic && not sk.Live.Chaos.atomic then exit 2)
+  | (("recover" | "fresh") as m), Ok transport ->
+    let mode = if m = "recover" then `Recover else `Fresh in
+    let o = Live.Chaos.restart_scenario ~transport ~mode () in
+    Format.printf
+      "scenario    : acknowledged write on quorum {0,1}; server 0 killed, \
+       restarted %s; read from quorum {0,2}@."
+      (match mode with
+      | `Recover -> "with its recovered snapshot"
+      | `Fresh -> "with fresh (empty) state");
+    Format.printf "read        : %s@."
+      (match o.Live.Chaos.read_value with
+      | Some v -> string_of_int v
+      | None -> "(no response)");
+    (match o.Live.Chaos.witness with
+    | Some w -> Format.printf "witness     : %s@." w
+    | None -> ());
+    Format.printf "atomicity   : %s@."
+      (if o.Live.Chaos.atomic then "OK" else "VIOLATED");
+    let as_expected =
+      match mode with
+      | `Recover -> o.Live.Chaos.atomic
+      | `Fresh -> (not o.Live.Chaos.atomic) && o.Live.Chaos.witness <> None
+    in
+    Format.printf "verdict     : %s@."
+      (if as_expected then "as the crash-stop model predicts"
+       else "UNEXPECTED");
+    if not as_expected then exit 2
+  | other, Ok _ ->
+    Printf.eprintf "unknown scenario %S (soak|recover|fresh)\n" other;
+    exit 1
+
+let chaos_cmd =
+  let scenario =
+    Arg.(value & opt string "soak"
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"$(b,soak): seeded drop/delay/duplicate storm plus a \
+                   kill-and-recover restart under a full workload. \
+                   $(b,recover) / $(b,fresh): the deterministic \
+                   restart-fidelity script — recover must stay atomic, \
+                   fresh must yield a checker witness.")
+  in
+  let transport =
+    Arg.(value & opt string "mux"
+         & info [ "transport" ] ~docv:"PLANE"
+             ~doc:"Client data plane under fault injection: $(b,mux) or \
+                   $(b,sockets).")
+  in
+  let drop =
+    Arg.(value & opt float 0.08 & info [ "drop" ] ~docv:"P"
+         ~doc:"Per-frame drop probability (0 disables).")
+  in
+  let delay =
+    Arg.(value & opt float 0.03 & info [ "delay" ] ~docv:"SEC"
+         ~doc:"Max per-frame delay; each frame is delayed with probability \
+               0.25 (0 disables).")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.1 & info [ "duplicate" ] ~docv:"P"
+         ~doc:"Per-frame duplication probability (0 disables).")
+  in
+  let ops =
+    Arg.(value & opt int 8 & info [ "ops" ] ~docv:"N"
+         ~doc:"Writes per writer in the soak (each reader does 2N reads).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Inject a deterministic seeded fault plan (drops, delays, \
+             duplicates, truncations, server restarts) into a live cluster \
+             and check the recorded history for atomicity.")
+    Term.(const chaos $ protocol_arg $ scenario $ transport $ seed_arg $ drop
+          $ delay $ duplicate $ ops $ s_arg $ t_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -640,4 +761,4 @@ let () =
        (Cmd.group info
           [ sim_cmd; threshold_cmd; impossibility_cmd; sieve_cmd; table1_cmd;
             record_cmd; check_cmd; exhaustive_cmd; hunt_cmd; serve_cmd;
-            live_cmd ]))
+            live_cmd; chaos_cmd ]))

@@ -68,12 +68,16 @@ end
 module Pool = Parallel.Pool
 
 module Live = struct
+  module Clock = Transport.Clock
+  module Netio = Transport.Netio
   module Codec = Transport.Codec
   module Server = Transport.Server
   module Mux = Transport.Mux
   module Endpoint = Transport.Endpoint
   module Cluster = Transport.Cluster
   module Session = Transport.Session
+  module Faults = Transport.Faults
+  module Chaos = Transport.Chaos
 end
 
 module Adversary = Workload.Adversary

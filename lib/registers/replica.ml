@@ -48,6 +48,28 @@ let handle t ~client req =
     Hashtbl.iter (fun _ e -> e.updated <- Iset.add client e.updated) t.vector;
     Wire.Read_ack { current = t.current; vector = snapshot t }
 
+(* The full durable state: enough to rebuild the replica exactly, as a
+   plain (sorted, deterministic) value for recovery tests and tooling.
+   Note the [updated] sets are part of it — the admissibility
+   certificates of the fast protocols live there, so a recovery that
+   dropped them would be no recovery at all. *)
+type state = { s_current : Wire.value; s_vector : (Wire.value * int list) list }
+
+let save t = { s_current = t.current; s_vector = snapshot t }
+
+let load st =
+  let t = create () in
+  List.iter
+    (fun ((v : Wire.value), updated) ->
+      match Hashtbl.find_opt t.vector v.Wire.tag with
+      | Some e -> e.updated <- Iset.union e.updated (Iset.of_list updated)
+      | None ->
+        Hashtbl.replace t.vector v.Wire.tag
+          { payload = v.Wire.payload; updated = Iset.of_list updated })
+    st.s_vector;
+  t.current <- st.s_current;
+  t
+
 let current t = t.current
 
 let vector_size t = Hashtbl.length t.vector

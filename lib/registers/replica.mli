@@ -28,3 +28,24 @@ val vector_size : t -> int
 
 val updated_set : t -> Wire.value -> int list
 (** The [updated] set recorded for a value (sorted), or [[]]. *)
+
+(** {2 Snapshot / restore}
+
+    The crash-stop model assumes a crashed server never returns; a
+    server that {e does} return must either carry its full pre-crash
+    state (making the restart indistinguishable from a slow server,
+    which the proofs do cover) or it silently weakens the quorum
+    intersection argument.  [save]/[load] make both executable: a
+    restart that [load]s a [save]d state preserves atomicity, and a
+    restart from {!create} (fresh state) is a model violation the
+    atomicity checker catches. *)
+
+type state = { s_current : Wire.value; s_vector : (Wire.value * int list) list }
+(** [valᵢ] plus the full valuevector with its [updated] sets, values in
+    ascending tag order. *)
+
+val save : t -> state
+(** A deterministic snapshot of the replica's entire state. *)
+
+val load : state -> t
+(** A fresh replica carrying exactly the [save]d state. *)

@@ -1,0 +1,26 @@
+/* Monotonic time source for transport deadlines.
+ *
+ * Returns CLOCK_MONOTONIC seconds when the platform provides it, or a
+ * negative sentinel so the OCaml side falls back to gettimeofday. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#else
+#include <time.h>
+#include <unistd.h>
+#endif
+
+CAMLprim value mwreg_clock_monotonic(value unit)
+{
+  (void)unit;
+#if !defined(_WIN32) && defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  }
+#endif
+  return caml_copy_double(-1.0);
+}

@@ -6,14 +6,16 @@ type t = {
   sockaddrs : Unix.sockaddr array;
   s : int;
   tol : int;
+  faults : Faults.t option;
 }
 
-let start ~s ~tol () =
+let start ?faults ~s ~tol () =
   if s < 2 then invalid_arg "Cluster.start: need at least 2 servers";
   if tol < 0 || tol >= s then invalid_arg "Cluster.start: need 0 <= tol < s";
   let replicas = Array.init s (fun _ -> Replica.create ()) in
   let servers =
-    Array.init s (fun i -> Some (Server.start ~id:i ~replica:replicas.(i) ()))
+    Array.init s (fun i ->
+        Some (Server.start ~id:i ?faults ~replica:replicas.(i) ()))
   in
   let sockaddrs =
     Array.map
@@ -23,13 +25,13 @@ let start ~s ~tol () =
         | None -> assert false)
       servers
   in
-  { servers; replicas; sockaddrs; s; tol }
+  { servers; replicas; sockaddrs; s; tol; faults }
 
 let connect ~addrs ~tol () =
   let s = Array.length addrs in
   if s < 2 then invalid_arg "Cluster.connect: need at least 2 servers";
   if tol < 0 || tol >= s then invalid_arg "Cluster.connect: need 0 <= tol < s";
-  { servers = [||]; replicas = [||]; sockaddrs = addrs; s; tol }
+  { servers = [||]; replicas = [||]; sockaddrs = addrs; s; tol; faults = None }
 
 let local t = Array.length t.servers > 0
 
@@ -58,6 +60,38 @@ let kill t i =
     t.servers.(i) <- None;
     Server.stop sv
 
+type restart_mode = [ `Recover | `Fresh ]
+
+(* Bring a killed server back on its original port.  [`Recover] rebuilds
+   its replica through the {!Replica.save}/{!Replica.load} state API —
+   the restart is then indistinguishable from a very slow server, which
+   the crash-stop proofs do cover.  [`Fresh] restarts with empty state:
+   a model violation (acknowledged writes forgotten) that the atomicity
+   checker must catch downstream.  The listen socket sets SO_REUSEADDR,
+   but lingering TIME_WAIT pairs can still race the rebind, so EADDRINUSE
+   is retried briefly. *)
+let restart ?(mode = `Recover) t i =
+  if not (local t) then
+    invalid_arg "Cluster.restart: cannot restart remote servers";
+  match t.servers.(i) with
+  | Some _ -> ()
+  | None ->
+    let replica =
+      match mode with
+      | `Recover -> Replica.load (Replica.save t.replicas.(i))
+      | `Fresh -> Replica.create ()
+    in
+    t.replicas.(i) <- replica;
+    let port = port t i in
+    let rec bind_retrying n =
+      match Server.start ~port ~id:i ?faults:t.faults ~replica () with
+      | sv -> sv
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) when n > 0 ->
+        Thread.delay 0.05;
+        bind_retrying (n - 1)
+    in
+    t.servers.(i) <- Some (bind_retrying 40)
+
 let running t =
   if not (local t) then List.init t.s Fun.id
   else
@@ -81,19 +115,22 @@ type clients = {
    0..S-1, writer i = S+i, reader j = S+W+j) so the updated sets the
    replicas record — and therefore the admissibility certificates — are
    identical across the simulated and live backends. *)
-let clients ?(transport = `Mux) ?rt_timeout ?max_rt_retries t ~writers
-    ~readers =
+let clients ?(transport = `Mux) ?rt_timeout ?max_rt_retries ?faults t
+    ~writers ~readers =
   let addrs = addrs t in
+  (* Default to the plan the cluster's servers were started with, so
+     the request and reply legs of one chaos run share one plan. *)
+  let faults = match faults with Some _ as f -> f | None -> t.faults in
   let mux, ep =
     match transport with
     | `Sockets ->
       ( None,
         fun client ->
-          Endpoint.create ?rt_timeout ?max_rt_retries ~client ~servers:addrs
-            ~quorum:(quorum t) () )
+          Endpoint.create ?rt_timeout ?max_rt_retries ?faults ~client
+            ~servers:addrs ~quorum:(quorum t) () )
     | `Mux ->
       let mux =
-        Mux.create ?rt_timeout ?max_rt_retries ~servers:addrs
+        Mux.create ?rt_timeout ?max_rt_retries ?faults ~servers:addrs
           ~quorum:(quorum t) ()
       in
       (Some mux, fun client -> Endpoint.of_mux (Mux.client mux ~client))

@@ -7,8 +7,10 @@
 
 type t
 
-val start : s:int -> tol:int -> unit -> t
-(** Spawn [s] servers tolerating [tol] crashes (quorum [s − tol]). *)
+val start : ?faults:Faults.t -> s:int -> tol:int -> unit -> t
+(** Spawn [s] servers tolerating [tol] crashes (quorum [s − tol]).
+    [faults] installs a fault plan on every server's reply leg and, by
+    default, on every endpoint {!clients} builds (see {!Faults}). *)
 
 val connect : addrs:Unix.sockaddr array -> tol:int -> unit -> t
 (** Attach to already-running daemons (e.g. [mwreg serve] processes)
@@ -36,6 +38,18 @@ val replica : t -> int -> Registers.Replica.t
 val kill : t -> int -> unit
 (** Crash server [i]: connections sever, its port stops answering.
     Idempotent. *)
+
+type restart_mode = [ `Recover | `Fresh ]
+(** How a {!kill}ed server comes back: [`Recover] carries its full
+    pre-crash replica state across the restart (via {!Registers.Replica.save}
+    / [load]), [`Fresh] rejoins with empty state — a violation of the
+    crash-stop model whose effect {!Checker.Atomicity} must flag. *)
+
+val restart : ?mode:restart_mode -> t -> int -> unit
+(** Bring killed server [i] back on its original port (no-op if it is
+    still running; [Invalid_argument] on a remote cluster).  Default
+    mode [`Recover].  Client endpoints redial it transparently through
+    their reconnect backoff. *)
 
 val running : t -> int list
 (** Indices of servers still alive. *)
@@ -66,12 +80,16 @@ val clients :
   ?transport:transport ->
   ?rt_timeout:float ->
   ?max_rt_retries:int ->
+  ?faults:Faults.t ->
   t ->
   writers:int ->
   readers:int ->
   clients
 (** Endpoints for [writers] writers and [readers] readers, numbered like
-    {!Protocol.Topology} so live and simulated certificates agree. *)
+    {!Protocol.Topology} so live and simulated certificates agree.
+    [faults] applies the plan's [To_server] rules to every request these
+    endpoints send; it defaults to the plan the cluster was started
+    with, so one plan covers both legs of a chaos run. *)
 
 val close_clients : clients -> unit
 (** Close every endpoint and, on the mux plane, shut the shared

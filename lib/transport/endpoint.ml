@@ -29,10 +29,12 @@ type sockets = {
   max_rt_retries : int;
   connect_retries : int;
   connect_backoff : float;
+  faults : Faults.t option;
   mutable next_rt : int;
   mutable started : int;
   mutable completed : int;
   mutable late : int;
+  mutable retried : int; (* re-broadcasts after a round-trip timeout *)
   read_buf : Bytes.t;
   enc : Buffer.t; (* reused encode buffer *)
   mutable out : Bytes.t; (* reused write staging *)
@@ -42,7 +44,9 @@ type t =
   | Sockets of sockets
   | Shared of Mux.handle
 
-let now () = Unix.gettimeofday ()
+(* All deadlines and backoff gates run on the monotonic clock: a wall
+   time step must not fire or stall every timeout at once. *)
+let now = Clock.now
 
 (* A server crashing mid-write must surface as EPIPE on that write, not
    kill the client process. *)
@@ -85,7 +89,7 @@ let try_connect t c =
     end
 
 let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
-    ?(connect_backoff = 0.02) ~client ~servers ~quorum () =
+    ?(connect_backoff = 0.02) ?faults ~client ~servers ~quorum () =
   Lazy.force ignore_sigpipe;
   let n = Array.length servers in
   if quorum <= 0 || quorum > n then
@@ -109,10 +113,12 @@ let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
       max_rt_retries;
       connect_retries;
       connect_backoff;
+      faults;
       next_rt = 0;
       started = 0;
       completed = 0;
       late = 0;
+      retried = 0;
       read_buf = Bytes.create 65536;
       enc = Buffer.create 256;
       out = Bytes.create 256;
@@ -124,19 +130,28 @@ let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
 
 let of_mux h = Shared h
 
+(* [Netio.write_all] retries EINTR internally: only a real link failure
+   reaches the handler and severs the connection. *)
 let send_bytes c bytes len =
   match c.fd with
   | None -> false
   | Some fd -> (
     try
-      let sent = ref 0 in
-      while !sent < len do
-        sent := !sent + Unix.write fd bytes !sent (len - !sent)
-      done;
+      Netio.write_all fd bytes 0 len;
       true
     with _ ->
       drop c;
       false)
+
+(* Send a torn frame — [prefix] bytes of it — then sever the link, so
+   the server's strict decoder rejects the stream (fault injection). *)
+let send_truncated c bytes len =
+  (match c.fd with
+  | None -> ()
+  | Some fd -> (
+    let prefix = max 1 (len / 2) in
+    try Netio.write_all fd bytes 0 prefix with _ -> ()));
+  drop c
 
 (* The round-trip contract of the model (§2.1): send to all S servers,
    complete on the first S − t replies in arrival order, count whatever
@@ -173,13 +188,38 @@ let sockets_exec t req k =
       end
       else t.late <- t.late + 1
   in
+  let attempt = ref 0 in
   let broadcast () =
     Array.iteri
       (fun i c ->
         if (not replied.(i)) && not sent.(i) then
           match try_connect t c with
           | None -> ()
-          | Some _ -> sent.(i) <- send_bytes c t.out len)
+          | Some _ -> (
+            match t.faults with
+            | None -> sent.(i) <- send_bytes c t.out len
+            | Some plan ->
+              (* The attempt number salts the plan's per-frame draw: a
+                 request dropped on this attempt gets a fresh decision
+                 on the next re-broadcast, so lossy links slow rounds
+                 down instead of wedging them. *)
+              let ds =
+                Faults.deliveries plan ~dir:Faults.To_server ~server:i
+                  ~client:t.client ~rt ~salt:!attempt
+              in
+              if ds = [] then sent.(i) <- true (* lost on the wire *)
+              else
+                List.iter
+                  (fun { Faults.after; truncated } ->
+                    (* Delaying the sender is a legal link delay: the
+                       op is synchronous in this thread anyway. *)
+                    if after > 0.0 then Thread.delay after;
+                    if truncated then begin
+                      send_truncated c t.out len;
+                      sent.(i) <- true
+                    end
+                    else sent.(i) <- send_bytes c t.out len)
+                  ds))
       t.conns
   in
   let read_ready fds =
@@ -187,7 +227,7 @@ let sockets_exec t req k =
       (fun i c ->
         match c.fd with
         | Some fd when List.memq fd fds -> (
-          match Unix.read fd t.read_buf 0 (Bytes.length t.read_buf) with
+          match Netio.read fd t.read_buf 0 (Bytes.length t.read_buf) with
           | 0 -> drop c
           | nread -> (
             Codec.Stream.feed c.stream t.read_buf nread;
@@ -205,7 +245,6 @@ let sockets_exec t req k =
         | _ -> ())
       t.conns
   in
-  let attempt = ref 0 in
   broadcast ();
   let deadline = ref (now () +. t.rt_timeout) in
   let give_up = ref false in
@@ -217,6 +256,7 @@ let sockets_exec t req k =
       if !attempt >= t.max_rt_retries then give_up := true
       else begin
         incr attempt;
+        t.retried <- t.retried + 1;
         Array.fill sent 0 n false;
         broadcast ();
         deadline := now () +. t.rt_timeout
@@ -273,6 +313,10 @@ let rounds_completed = function
 let late_replies = function
   | Sockets s -> s.late
   | Shared h -> Mux.late_replies h
+
+let retries = function
+  | Sockets s -> s.retried
+  | Shared h -> Mux.retries h
 
 let close = function
   | Sockets s -> Array.iter drop s.conns

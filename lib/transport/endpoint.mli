@@ -38,6 +38,7 @@ val create :
   ?max_rt_retries:int ->
   ?connect_retries:int ->
   ?connect_backoff:float ->
+  ?faults:Faults.t ->
   client:int ->
   servers:Unix.sockaddr array ->
   quorum:int ->
@@ -50,7 +51,9 @@ val create :
     reader [j] ↦ [S + W + j]) so live and simulated certificates agree.
     [rt_timeout] (default 1s) bounds each round trip; [max_rt_retries]
     (default 3) bounds re-broadcasts; [connect_retries]/[connect_backoff]
-    bound reconnect attempts per server. *)
+    bound reconnect attempts per server.  [faults] subjects every
+    outgoing request frame to the plan's [To_server] rules
+    ({!Faults}). *)
 
 val of_mux : Mux.handle -> t
 (** An endpoint over a client handle of a shared {!Mux} plane. *)
@@ -70,6 +73,10 @@ val rounds_completed : t -> int
 val late_replies : t -> int
 (** Replies that arrived after their round trip had already completed —
     the live analogue of the simulator's late-message count. *)
+
+val retries : t -> int
+(** Re-broadcasts issued after a round-trip timeout — 0 on a clean run,
+    and the visible cost of lossy links under a fault plan. *)
 
 val close : t -> unit
 (** Private path: drop every connection (the endpoint may be used again;

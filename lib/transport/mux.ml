@@ -2,7 +2,10 @@ open Registers
 
 exception Unavailable of string
 
-let now () = Unix.gettimeofday ()
+(* All deadlines, ticker gates and backoff gates run on the monotonic
+   clock: a wall time step must not fire or stall every timeout at
+   once. *)
+let now = Clock.now
 
 (* A server crashing mid-write must surface as EPIPE on that write, not
    kill the client process. *)
@@ -47,6 +50,7 @@ type mailbox = {
   mutable mb_deadline : float; (* ticker wakes the waiter only past this *)
   mutable mb_started : int;
   mutable mb_completed : int;
+  mutable mb_retried : int; (* re-broadcasts after a round-trip timeout *)
   (* Reused send path: the frame is encoded once per operation into
      [enc], blitted into [out], and the same bytes go to every
      connection — allocation-free once both have reached steady size. *)
@@ -61,6 +65,7 @@ type t = {
   max_rt_retries : int;
   connect_retries : int;
   connect_backoff : float;
+  faults : Faults.t option;
   routes : (int, mailbox) Hashtbl.t;
   routes_lock : Mutex.t;
   mutable demuxers : Thread.t list; (* joined on shutdown *)
@@ -111,7 +116,7 @@ let demux t c fd () =
   (try
      let stop = ref false in
      while not !stop do
-       match Unix.read fd buf 0 (Bytes.length buf) with
+       match Netio.read fd buf 0 (Bytes.length buf) with
        | 0 -> stop := true
        | n ->
          Codec.Stream.feed stream buf n;
@@ -175,8 +180,11 @@ let try_connect t c =
    just append and return; the flusher's loop re-checks the queue after
    every batch, so their bytes go out in the next combined write.  On a
    write error the link is severed ([shutdown], not [close] — the demux
-   thread is the fd's sole closer) and queued bytes are dropped; the
-   round-trip retry loop re-broadcasts after reconnect. *)
+   thread is the fd's sole closer) and the staged batch is dropped; the
+   round-trip retry loop re-broadcasts after reconnect.  Frames that
+   other clients appended to [c.out] while the failing write ran
+   unlocked are NOT part of that batch and stay queued: the next
+   flusher sends them once the link is back. *)
 let enqueue t c bytes len =
   Mutex.lock c.lock;
   match try_connect t c with
@@ -204,12 +212,7 @@ let enqueue t c bytes len =
         | None -> ok := false (* link died since the append: drop *)
         | Some fd -> (
           Mutex.unlock c.lock;
-          (match
-             let sent = ref 0 in
-             while !sent < blen do
-               sent := !sent + Unix.write fd c.staging !sent (blen - !sent)
-             done
-           with
+          (match Netio.write_all fd c.staging 0 blen with
           | () -> Mutex.lock c.lock
           | exception _ ->
             (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
@@ -217,7 +220,10 @@ let enqueue t c bytes len =
             (match c.fd with
             | Some cur when cur == fd -> c.fd <- None
             | _ -> ());
-            Buffer.clear c.out;
+            (* Only the staging batch is lost with the link.  [c.out]
+               may have gained other clients' frames while the write
+               ran unlocked — clearing it here would silently discard
+               them; they stay for the post-reconnect flusher. *)
             ok := false))
       done;
       c.flushing <- false;
@@ -256,7 +262,7 @@ let ticker_body t () =
   done
 
 let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
-    ?(connect_backoff = 0.02) ~servers ~quorum () =
+    ?(connect_backoff = 0.02) ?faults ~servers ~quorum () =
   Lazy.force ignore_sigpipe;
   let n = Array.length servers in
   if quorum <= 0 || quorum > n then
@@ -283,6 +289,7 @@ let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
       max_rt_retries;
       connect_retries;
       connect_backoff;
+      faults;
       routes = Hashtbl.create 16;
       routes_lock = Mutex.create ();
       demuxers = [];
@@ -312,6 +319,7 @@ let client t ~client =
       mb_deadline = infinity;
       mb_started = 0;
       mb_completed = 0;
+      mb_retried = 0;
       enc = Buffer.create 256;
       out = Bytes.create 256;
     }
@@ -372,17 +380,45 @@ let exec h req k =
   if len > Bytes.length mb.out then
     mb.out <- Bytes.create (max len (2 * Bytes.length mb.out));
   Buffer.blit mb.enc 0 mb.out 0 len;
+  let attempt = ref 0 in
+  (* Truncation fault: the torn frame has gone out on the shared
+     connection, so the whole stream is poisoned — sever it and let
+     every rider reconnect and retry, exactly what a corrupting link
+     costs on this plane. *)
+  let sever c =
+    Mutex.protect c.lock (fun () ->
+        match c.fd with
+        | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+        | None -> ())
+  in
   let broadcast () =
     Array.iter
       (fun c ->
         (* Racy read of [mb_from] outside the mailbox lock: the worst
            case is a duplicate send to a server that replied this very
            instant, and replica operations are idempotent. *)
-        if not mb.mb_from.(c.index) then ignore (enqueue t c mb.out len))
+        if not mb.mb_from.(c.index) then
+          match t.faults with
+          | None -> ignore (enqueue t c mb.out len)
+          | Some plan ->
+            (* Salted by the attempt number: a frame dropped now draws
+               afresh on the next re-broadcast. *)
+            let ds =
+              Faults.deliveries plan ~dir:Faults.To_server ~server:c.index
+                ~client:mb.client ~rt ~salt:!attempt
+            in
+            List.iter
+              (fun { Faults.after; truncated } ->
+                if after > 0.0 then Thread.delay after;
+                if truncated then begin
+                  ignore (enqueue t c mb.out (max 1 (len / 2)));
+                  sever c
+                end
+                else ignore (enqueue t c mb.out len))
+              ds)
       t.conns
   in
   broadcast ();
-  let attempt = ref 0 in
   let give_up = ref false in
   Mutex.lock mb.mb_lock;
   while mb.mb_n < t.quorum && not !give_up do
@@ -393,6 +429,7 @@ let exec h req k =
       if !attempt >= t.max_rt_retries then give_up := true
       else begin
         incr attempt;
+        mb.mb_retried <- mb.mb_retried + 1;
         Mutex.unlock mb.mb_lock;
         broadcast ();
         Mutex.lock mb.mb_lock;
@@ -421,3 +458,5 @@ let rounds_started h = h.mb.mb_started
 let rounds_completed h = h.mb.mb_completed
 
 let late_replies h = h.mb.mb_late
+
+let retries h = h.mb.mb_retried

@@ -41,12 +41,16 @@ val create :
   ?max_rt_retries:int ->
   ?connect_retries:int ->
   ?connect_backoff:float ->
+  ?faults:Faults.t ->
   servers:Unix.sockaddr array ->
   quorum:int ->
   unit ->
   t
 (** Dial every server (tolerating failures) and start the demux
-    threads.  Parameter meanings and defaults match {!Endpoint.create}. *)
+    threads.  Parameter meanings and defaults match {!Endpoint.create};
+    [faults] subjects every outgoing request frame to the plan's
+    [To_server] rules ({!Faults}) — note a truncated frame severs the
+    {e shared} connection, so every rider reconnects and retries. *)
 
 val client : t -> client:int -> handle
 (** Register client [client] (its node id, {!Protocol.Topology}
@@ -65,6 +69,9 @@ val rounds_completed : handle -> int
 
 val late_replies : handle -> int
 (** Replies that arrived after their round trip had completed. *)
+
+val retries : handle -> int
+(** Re-broadcasts issued after a round-trip timeout. *)
 
 val release : handle -> unit
 (** Unregister the client's route.  Replies still in flight for it are

@@ -1,0 +1,10 @@
+let rec write_all fd buf pos len =
+  if len > 0 then
+    match Unix.write fd buf pos len with
+    | n -> write_all fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf pos len
+
+let rec read fd buf pos len =
+  match Unix.read fd buf pos len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read fd buf pos len

@@ -1,0 +1,17 @@
+(** Socket I/O helpers shared by the server and both client planes.
+
+    [Unix.write] and [Unix.read] raise [EINTR] whenever a signal lands
+    mid-syscall (OCaml installs handlers without [SA_RESTART]).  An
+    interrupted write is not a dead link — treating it as one, as all
+    three transport write loops once did, severs a healthy connection
+    and forces a pointless reconnect-and-retry cycle.  These wrappers
+    retry [EINTR] transparently; every other error still propagates so
+    real link failures surface where callers expect them. *)
+
+val write_all : Unix.file_descr -> bytes -> int -> int -> unit
+(** [write_all fd buf pos len] writes exactly [len] bytes of [buf]
+    starting at [pos], restarting after partial writes and [EINTR].
+    Raises the underlying [Unix_error] on any other failure. *)
+
+val read : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read], restarted on [EINTR]. *)

@@ -1,17 +1,30 @@
 open Registers
 
+(* One live client connection.  Replies normally leave from the handler
+   thread alone, but a fault plan's delayed deliveries are written by
+   short-lived delayer threads — so every write takes [wlock], and
+   [alive] keeps a delayer that outlives the connection from writing to
+   a closed (possibly reused) descriptor. *)
+type sconn = {
+  sfd : Unix.file_descr;
+  wlock : Mutex.t;
+  mutable alive : bool;
+}
+
 type t = {
   id : int;
   listen_fd : Unix.file_descr;
   port : int;
   replica : Replica.t;
   replica_lock : Mutex.t;
-  mutable conns : Unix.file_descr list;
+  faults : Faults.t option;
+  mutable conns : sconn list;
   conns_lock : Mutex.t;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
   handlers : (int, Thread.t) Hashtbl.t; (* keyed by thread id *)
   mutable finished : Thread.t list; (* handlers ready to be reaped *)
+  mutable delayers : Thread.t list; (* fault-plan delayed deliveries *)
 }
 
 (* A peer closing its socket mid-write must surface as EPIPE on that
@@ -25,15 +38,27 @@ let port t = t.port
 
 let replica t = t.replica
 
-let write_all fd b n =
-  let sent = ref 0 in
-  while !sent < n do
-    sent := !sent + Unix.write fd b !sent (n - !sent)
-  done
-
-let remove_conn t fd =
+let remove_conn t sc =
   Mutex.protect t.conns_lock (fun () ->
-      t.conns <- List.filter (fun c -> c != fd) t.conns)
+      t.conns <- List.filter (fun c -> c != sc) t.conns)
+
+(* A delayed reply delivery: one short-lived thread sleeps then writes
+   the frame under the connection's write lock.  If the connection died
+   in the meantime ([alive] cleared before close) the frame is simply
+   lost — which is also a legal behaviour of the link being modelled. *)
+let schedule_delayed t sc frame after =
+  let bytes = Bytes.of_string (Codec.encode frame) in
+  let th =
+    Thread.create
+      (fun () ->
+        Thread.delay after;
+        Mutex.protect sc.wlock (fun () ->
+            if sc.alive then
+              try Netio.write_all sc.sfd bytes 0 (Bytes.length bytes)
+              with _ -> ()))
+      ()
+  in
+  Mutex.protect t.conns_lock (fun () -> t.delayers <- th :: t.delayers)
 
 (* One thread per client connection.  With the multiplexed client plane
    a connection carries the traffic of every client in that process, so
@@ -41,16 +66,18 @@ let remove_conn t fd =
    are run through the replica under a single [replica_lock]
    acquisition, and their replies leave in a single [write] from a
    per-connection reused buffer — no per-frame allocation once warm. *)
-let handle_conn t fd =
+let handle_conn t sc =
+  let fd = sc.sfd in
   let stream = Codec.Stream.create () in
   let buf = Bytes.create 65536 in
   let reply_buf = Buffer.create 4096 in
   let frame_buf = Buffer.create 512 in
   let out = ref (Bytes.create 4096) in
+  let frame_count = ref 0 in
   (try
      let stop = ref false in
      while not !stop do
-       let n = Unix.read fd buf 0 (Bytes.length buf) in
+       let n = Netio.read fd buf 0 (Bytes.length buf) in
        if n = 0 then stop := true
        else begin
          Codec.Stream.feed stream buf n;
@@ -77,24 +104,60 @@ let handle_conn t fd =
                      (rt, client, Replica.handle t.replica ~client req))
                    requests)
            in
-           (* Phase 3: all replies in one write. *)
+           (* Phase 3: decide each reply frame's fate under the fault
+              plan (every frame passes when there is none), then all
+              immediate deliveries leave in one write. *)
            Buffer.clear reply_buf;
+           let sever = ref false in
            List.iter
              (fun (rt, client, rep) ->
-               Codec.encode_into frame_buf
-                 (Codec.Reply { rt; client; server = t.id; rep });
-               Buffer.add_buffer reply_buf frame_buf)
+               let frame = Codec.Reply { rt; client; server = t.id; rep } in
+               match t.faults with
+               | None ->
+                 Codec.encode_into frame_buf frame;
+                 Buffer.add_buffer reply_buf frame_buf
+               | Some plan ->
+                 if not !sever then begin
+                   incr frame_count;
+                   let ds =
+                     Faults.deliveries plan ~dir:Faults.From_server
+                       ~server:t.id ~client ~rt ~salt:!frame_count
+                   in
+                   List.iter
+                     (fun { Faults.after; truncated } ->
+                       if truncated then begin
+                         (* A torn frame: ship a prefix, then sever.  The
+                            client's strict decoder rejects the stream
+                            and reconnects. *)
+                         Codec.encode_into frame_buf frame;
+                         let prefix = max 1 (Buffer.length frame_buf / 2) in
+                         Buffer.add_string reply_buf
+                           (Buffer.sub frame_buf 0 prefix);
+                         sever := true
+                       end
+                       else if after > 0.0 then
+                         schedule_delayed t sc frame after
+                       else begin
+                         Codec.encode_into frame_buf frame;
+                         Buffer.add_buffer reply_buf frame_buf
+                       end)
+                     ds
+                 end)
              reps;
            let len = Buffer.length reply_buf in
-           if len > Bytes.length !out then
-             out := Bytes.create (max len (2 * Bytes.length !out));
-           Buffer.blit reply_buf 0 !out 0 len;
-           write_all fd !out len
+           if len > 0 then begin
+             if len > Bytes.length !out then
+               out := Bytes.create (max len (2 * Bytes.length !out));
+             Buffer.blit reply_buf 0 !out 0 len;
+             Mutex.protect sc.wlock (fun () -> Netio.write_all fd !out 0 len)
+           end;
+           if !sever then stop := true
          end
        end
      done
    with _ -> ());
-  remove_conn t fd;
+  Mutex.protect sc.wlock (fun () -> sc.alive <- false);
+  remove_conn t sc;
   (try Unix.close fd with _ -> ());
   (* Hand ourselves to the accept loop for joining: handler threads must
      not accumulate forever under connect/disconnect churn. *)
@@ -119,7 +182,8 @@ let reap t =
 let accept_loop t =
   while not t.stopping do
     (* Select with a timeout so [stop] wins even with no inbound
-       connections; an actual connect wakes us immediately. *)
+       connections; an actual connect wakes us immediately.  EINTR just
+       means a signal landed — re-check and select again. *)
     (match Unix.select [ t.listen_fd ] [] [] 0.2 with
     | [], _, _ -> ()
     | _ :: _, _, _ when t.stopping -> ()
@@ -128,14 +192,16 @@ let accept_loop t =
       | exception _ -> ()
       | fd, _ ->
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
-        Mutex.protect t.conns_lock (fun () -> t.conns <- fd :: t.conns);
-        let th = Thread.create (handle_conn t) fd in
-        Hashtbl.replace t.handlers (Thread.id th) th));
+        let sc = { sfd = fd; wlock = Mutex.create (); alive = true } in
+        Mutex.protect t.conns_lock (fun () -> t.conns <- sc :: t.conns);
+        let th = Thread.create (handle_conn t) sc in
+        Hashtbl.replace t.handlers (Thread.id th) th)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     reap t
   done;
   try Unix.close t.listen_fd with _ -> ()
 
-let start ?(host = "127.0.0.1") ?(port = 0) ?(id = 0) ~replica () =
+let start ?(host = "127.0.0.1") ?(port = 0) ?(id = 0) ?faults ~replica () =
   Lazy.force ignore_sigpipe;
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -157,12 +223,14 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(id = 0) ~replica () =
       port;
       replica;
       replica_lock = Mutex.create ();
+      faults;
       conns = [];
       conns_lock = Mutex.create ();
       stopping = false;
       accept_thread = None;
       handlers = Hashtbl.create 16;
       finished = [];
+      delayers = [];
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
@@ -178,7 +246,7 @@ let stop t =
        down, then close their own fd and exit. *)
     let conns = Mutex.protect t.conns_lock (fun () -> t.conns) in
     List.iter
-      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+      (fun sc -> try Unix.shutdown sc.sfd Unix.SHUTDOWN_ALL with _ -> ())
       conns;
     (match t.accept_thread with
     | Some th ->
@@ -187,5 +255,12 @@ let stop t =
     | None -> ());
     Hashtbl.iter (fun _ th -> Thread.join th) t.handlers;
     Hashtbl.reset t.handlers;
-    Mutex.protect t.conns_lock (fun () -> t.finished <- [])
+    let delayers =
+      Mutex.protect t.conns_lock (fun () ->
+          let ds = t.delayers in
+          t.delayers <- [];
+          t.finished <- [];
+          ds)
+    in
+    List.iter Thread.join delayers
   end

@@ -22,12 +22,17 @@ val start :
   ?host:string ->
   ?port:int ->
   ?id:int ->
+  ?faults:Faults.t ->
   replica:Registers.Replica.t ->
   unit ->
   t
 (** Bind [host:port] (default [127.0.0.1:0] — port 0 picks an ephemeral
     port, see {!port}) and serve until {!stop}.  [id] is the server's
-    index, echoed in every reply so clients can attribute messages. *)
+    index, echoed in every reply so clients can attribute messages.
+    [faults] subjects every reply frame to the plan's [From_server]
+    rules: drops and blackouts lose it, delays deliver it late from a
+    delayer thread, duplicates send it twice, truncation tears the
+    frame mid-byte and severs the connection. *)
 
 val port : t -> int
 (** The actual bound port. *)

@@ -26,6 +26,7 @@ type result = {
   write_rounds : float;
   read_rounds : float;
   late : int;
+  retries : int;
   unavailable : int;
   killed : int list;
 }
@@ -87,8 +88,8 @@ let mean_rounds logs =
     logs;
   if !ops = 0 then 0.0 else float_of_int !rounds /. float_of_int !ops
 
-let run ?(kill_at = []) ?transport ?rt_timeout ?max_rt_retries ~register
-    ~cluster spec =
+let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
+    ?max_rt_retries ~register ~cluster spec =
   (match Registry.max_writers register with
   | Some m when spec.writers > m ->
     invalid_arg
@@ -97,9 +98,11 @@ let run ?(kill_at = []) ?transport ?rt_timeout ?max_rt_retries ~register
   | _ -> ());
   let algo = Registry.client_algo register in
   let cl =
-    Cluster.clients ?transport ?rt_timeout ?max_rt_retries cluster
+    Cluster.clients ?transport ?rt_timeout ?max_rt_retries ?faults cluster
       ~writers:spec.writers ~readers:spec.readers
   in
+  (* Align the fault plan's rule windows with the session clock. *)
+  Option.iter Faults.arm faults;
   let t0 = Unix.gettimeofday () in
   let now () = Unix.gettimeofday () -. t0 in
   (* Per-thread result slots — no cross-thread mutation, no locks. *)
@@ -167,19 +170,31 @@ let run ?(kill_at = []) ?transport ?rt_timeout ?max_rt_retries ~register
     reader_logs.(j) <- !log;
     Endpoint.close ep
   in
+  (* One scheduler thread replays the merged crash/restart timeline in
+     order — a kill and its restart stay correctly sequenced even when
+     their times collide. *)
+  let events =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (List.map (fun (at, idx) -> (at, `Kill idx)) kill_at
+      @ List.map (fun (at, idx, mode) -> (at, `Restart (idx, mode)))
+          restart_at)
+  in
   let killer =
-    match kill_at with
+    match events with
     | [] -> None
-    | plan ->
+    | events ->
       Some
         (Thread.create
            (fun () ->
              List.iter
-               (fun (at, idx) ->
+               (fun (at, ev) ->
                  let wait = at -. now () in
                  if wait > 0.0 then Thread.delay wait;
-                 Cluster.kill cluster idx)
-               (List.sort compare plan))
+                 match ev with
+                 | `Kill idx -> Cluster.kill cluster idx
+                 | `Restart (idx, mode) -> Cluster.restart ~mode cluster idx)
+               events)
            ())
   in
   let threads =
@@ -189,11 +204,12 @@ let run ?(kill_at = []) ?transport ?rt_timeout ?max_rt_retries ~register
   List.iter Thread.join threads;
   (match killer with Some th -> Thread.join th | None -> ());
   let duration = now () in
+  let all_eps = Array.append cl.Cluster.writer_eps cl.Cluster.reader_eps in
   let late =
-    Array.fold_left
-      (fun acc ep -> acc + Endpoint.late_replies ep)
-      0
-      (Array.append cl.Cluster.writer_eps cl.Cluster.reader_eps)
+    Array.fold_left (fun acc ep -> acc + Endpoint.late_replies ep) 0 all_eps
+  in
+  let retries =
+    Array.fold_left (fun acc ep -> acc + Endpoint.retries ep) 0 all_eps
   in
   Cluster.close_clients cl;
   let wlogs =
@@ -212,6 +228,7 @@ let run ?(kill_at = []) ?transport ?rt_timeout ?max_rt_retries ~register
     write_rounds = mean_rounds wlogs;
     read_rounds = mean_rounds rlogs;
     late;
+    retries;
     unavailable;
     killed =
       List.filter

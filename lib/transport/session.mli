@@ -38,6 +38,9 @@ type result = {
           measured on real sockets). *)
   read_rounds : float;  (** Mean round trips per completed read. *)
   late : int;  (** Replies arriving after their round trip completed. *)
+  retries : int;
+      (** Round-trip re-broadcasts across all clients — 0 on a healthy
+          run, and the price of lossy links under a fault plan. *)
   unavailable : int;
       (** Clients that aborted because no quorum answered (0 whenever at
           most [tol] servers were killed). *)
@@ -46,6 +49,8 @@ type result = {
 
 val run :
   ?kill_at:(float * int) list ->
+  ?restart_at:(float * int * Cluster.restart_mode) list ->
+  ?faults:Faults.t ->
   ?transport:Cluster.transport ->
   ?rt_timeout:float ->
   ?max_rt_retries:int ->
@@ -55,7 +60,12 @@ val run :
   result
 (** Run [spec] against [cluster] with [register]'s client algorithm.
     [kill_at] schedules real crashes: [(secs, server)] kills [server]
-    that many seconds into the run.  [transport] picks the data plane
+    that many seconds into the run.  [restart_at] brings killed servers
+    back: [(secs, server, mode)] calls {!Cluster.restart} then — kills
+    and restarts replay as one time-ordered schedule.  [faults] applies
+    a fault plan to every client endpoint of this session (the plan is
+    {!Faults.arm}ed at session start; servers use the plan their
+    cluster was started with).  [transport] picks the data plane
     (default [`Mux], see {!Cluster.transport}).  Raises
     [Invalid_argument] if [spec] exceeds the protocol's writer bound
     ({!Registers.Registry.max_writers}). *)

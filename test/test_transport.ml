@@ -573,6 +573,117 @@ let test_live_adaptive_atomic () =
   check int "no client starved" 0 res.Session.unavailable
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: fault injection, EINTR hardening, restart/recovery            *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_advances () =
+  let a = Clock.now () in
+  Thread.delay 0.01;
+  let b = Clock.now () in
+  check bool "clock advances" true (b > a);
+  check bool "monotonic source available" true Clock.monotonic
+
+let test_netio_eintr_retry () =
+  (* OCaml installs signal handlers without SA_RESTART, so a blocking
+     write interrupted by SIGALRM raises EINTR.  Storm the process with
+     an interval timer while pushing megabytes through a socketpair with
+     a deliberately slow consumer: Netio.write_all / Netio.read must
+     retry through every interruption and deliver every byte. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let total = 4 * 1024 * 1024 in
+  let received = ref 0 in
+  let reader =
+    Thread.create
+      (fun () ->
+        let buf = Bytes.create 65536 in
+        let rec loop () =
+          let n = Netio.read b buf 0 (Bytes.length buf) in
+          if n > 0 then begin
+            received := !received + n;
+            (* Slow consumer: keeps the writer blocked inside Unix.write
+               long enough for timer signals to land mid-call. *)
+            Thread.delay 0.001;
+            loop ()
+          end
+        in
+        loop ())
+      ()
+  in
+  let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let timer v = { Unix.it_interval = v; it_value = v } in
+  ignore (Unix.setitimer Unix.ITIMER_REAL (timer 0.002));
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL (timer 0.0));
+      Sys.set_signal Sys.sigalrm old)
+    (fun () ->
+      let chunk = Bytes.make 65536 'x' in
+      let sent = ref 0 in
+      while !sent < total do
+        let len = min (Bytes.length chunk) (total - !sent) in
+        Netio.write_all a chunk 0 len;
+        sent := !sent + len
+      done);
+  Unix.close a;
+  Thread.join reader;
+  Unix.close b;
+  check int "every byte arrived despite the signal storm" total !received
+
+let test_faults_deterministic () =
+  let probe p =
+    List.init 400 (fun i ->
+        Faults.deliveries p ~dir:Faults.To_server ~server:(i mod 5)
+          ~client:(5 + (i mod 4)) ~rt:(i / 4) ~salt:(i mod 3))
+  in
+  let d1 = probe (Chaos.plan ~seed:7 ()) in
+  check bool "same seed, same schedule" true
+    (d1 = probe (Chaos.plan ~seed:7 ()));
+  check bool "different seed, different schedule" true
+    (d1 <> probe (Chaos.plan ~seed:8 ()));
+  check bool "some frames dropped" true (List.exists (fun d -> d = []) d1);
+  check bool "some frames duplicated" true
+    (List.exists (fun d -> List.length d = 2) d1);
+  check bool "retry salt redraws the decision" true
+    (List.exists
+       (fun i ->
+         let p = Chaos.plan ~seed:7 () in
+         let at salt =
+           Faults.deliveries p ~dir:Faults.To_server ~server:0 ~client:5 ~rt:i
+             ~salt
+         in
+         at 0 = [] && at 1 <> [])
+       (List.init 100 Fun.id))
+
+let test_chaos_soak transport () =
+  (* Seeded drop/delay/duplicate storm plus a kill → recover-restart,
+     inside a possible regime: the run must complete with the history
+     atomic, lossy links showing up only as retries — and the Table-1
+     rounds-per-completed-op contract intact. *)
+  let sk =
+    Chaos.soak ~transport ~seed:3 ~ops:6 ~register:Registry.abd_mwmr ()
+  in
+  check bool "regime is possible" true sk.Chaos.expected_atomic;
+  check bool "atomic under chaos" true sk.Chaos.atomic;
+  check int "no client starved" 0 sk.Chaos.result.Session.unavailable;
+  check bool "lossy links cost retries" true
+    (sk.Chaos.result.Session.retries > 0);
+  check bool "completed writes still two rounds" true
+    (sk.Chaos.result.Session.write_rounds = 2.0)
+
+let test_restart_recover transport () =
+  let o = Chaos.restart_scenario ~transport ~mode:`Recover () in
+  check bool "recovered restart preserves atomicity" true o.Chaos.atomic;
+  check bool "read returns the acknowledged write" true
+    (o.Chaos.read_value = Some (Histories.History.initial_value + 41))
+
+let test_restart_fresh () =
+  let o = Chaos.restart_scenario ~mode:`Fresh () in
+  check bool "fresh restart loses the acknowledged write" false o.Chaos.atomic;
+  check bool "checker produced a witness" true (o.Chaos.witness <> None);
+  check bool "read returned the stale initial value" true
+    (o.Chaos.read_value = Some Histories.History.initial_value)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "transport"
@@ -625,5 +736,23 @@ let () =
           Alcotest.test_case "rounds accounting under overkill" `Quick
             test_rounds_accounting_under_overkill;
           Alcotest.test_case "adaptive atomic" `Quick test_live_adaptive_atomic;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "EINTR storm during writes" `Quick
+            test_netio_eintr_retry;
+          Alcotest.test_case "fault plans are deterministic" `Quick
+            test_faults_deterministic;
+          Alcotest.test_case "soak atomic under faults (mux)" `Quick
+            (test_chaos_soak `Mux);
+          Alcotest.test_case "soak atomic under faults (sockets)" `Quick
+            (test_chaos_soak `Sockets);
+          Alcotest.test_case "restart with recovery is atomic (mux)" `Quick
+            (test_restart_recover `Mux);
+          Alcotest.test_case "restart with recovery is atomic (sockets)" `Quick
+            (test_restart_recover `Sockets);
+          Alcotest.test_case "fresh restart yields a witness" `Quick
+            test_restart_fresh;
         ] );
     ]
