@@ -1353,9 +1353,9 @@ let micro () =
      ratio of 1.0 into a coin flip. *)
   let timed p runs broken =
     Gc.compact ();
-    let t0 = Unix.gettimeofday () in
+    let t0 = Transport.Clock.now () in
     let r, b = t1_sweep p in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Transport.Clock.now () -. t0 in
     runs := r;
     broken := b;
     dt

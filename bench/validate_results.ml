@@ -172,7 +172,7 @@ let err path msg = errors := Printf.sprintf "%s: %s" path msg :: !errors
 let field obj path key =
   match obj with
   | Obj fields -> List.assoc_opt key fields
-  | _ ->
+  | Null | Bool _ | Num _ | Str _ | List _ ->
     err path "expected an object";
     None
 
@@ -181,7 +181,7 @@ let want_string obj path key =
   | Some (Str s) ->
     if s = "" then err (path ^ "." ^ key) "empty string";
     Some s
-  | Some _ ->
+  | Some (Null | Bool _ | Num _ | List _ | Obj _) ->
     err (path ^ "." ^ key) "expected a string";
     None
   | None ->
@@ -191,7 +191,7 @@ let want_string obj path key =
 let want_number obj path key =
   match field obj path key with
   | Some (Num f) -> Some f
-  | Some _ ->
+  | Some (Null | Bool _ | Str _ | List _ | Obj _) ->
     err (path ^ "." ^ key) "expected a number";
     None
   | None ->
@@ -201,7 +201,8 @@ let want_number obj path key =
 let want_bool obj path key =
   match field obj path key with
   | Some (Bool _) -> ()
-  | Some _ -> err (path ^ "." ^ key) "expected a bool"
+  | Some (Null | Num _ | Str _ | List _ | Obj _) ->
+    err (path ^ "." ^ key) "expected a bool"
   | None -> err path (Printf.sprintf "missing key %S" key)
 
 let positive obj path key =
@@ -221,7 +222,8 @@ let check_ms_obj obj path key =
   | Some (Obj _ as ms) ->
     List.iter (fun k -> non_negative ms (path ^ "." ^ key) k)
       [ "mean"; "p50"; "p95"; "p99" ]
-  | Some _ -> err (path ^ "." ^ key) "expected an object"
+  | Some (Null | Bool _ | Num _ | Str _ | List _) ->
+    err (path ^ "." ^ key) "expected an object"
   | None -> err path (Printf.sprintf "missing key %S" key)
 
 let check_wall_clock path = function
@@ -238,7 +240,7 @@ let check_wall_clock path = function
         positive e p "domains";
         positive e p "speedup")
       entries
-  | _ -> err path "expected an array"
+  | Null | Bool _ | Num _ | Str _ | Obj _ -> err path "expected an array"
 
 let check_micro path = function
   | Obj fields ->
@@ -248,9 +250,10 @@ let check_micro path = function
         match v with
         | Num f when f > 0.0 -> ()
         | Num _ -> err (path ^ "." ^ k) "must be > 0"
-        | _ -> err (path ^ "." ^ k) "expected a number")
+        | Null | Bool _ | Str _ | List _ | Obj _ ->
+          err (path ^ "." ^ k) "expected a number")
       fields
-  | _ -> err path "expected an object"
+  | Null | Bool _ | Num _ | Str _ | List _ -> err path "expected an object"
 
 let check_live path = function
   | List entries ->
@@ -273,7 +276,7 @@ let check_live path = function
         check_ms_obj e p "read_ms";
         want_bool e p "atomic")
       entries
-  | _ -> err path "expected an array"
+  | Null | Bool _ | Num _ | Str _ | Obj _ -> err path "expected an array"
 
 let check_scaling path = function
   | List entries ->
@@ -294,7 +297,7 @@ let check_scaling path = function
         non_negative e p "write_p50_ms";
         non_negative e p "read_p50_ms")
       entries
-  | _ -> err path "expected an array"
+  | Null | Bool _ | Num _ | Str _ | Obj _ -> err path "expected an array"
 
 (* The chaos section carries semantics, not just shape: the soak's
    verdicts must match the theory (atomic wherever the design point is
@@ -305,7 +308,7 @@ let check_scaling path = function
 let want_bool_value obj path key =
   match field obj path key with
   | Some (Bool b) -> Some b
-  | Some _ ->
+  | Some (Null | Num _ | Str _ | List _ | Obj _) ->
     err (path ^ "." ^ key) "expected a bool";
     None
   | None ->
@@ -343,9 +346,10 @@ let check_chaos path = function
           with
           | Some false, Some true ->
             err p "non-atomic in a possible regime: chaos broke the protocol"
-          | _ -> ())
+          | (Some _ | None), (Some _ | None) -> ())
         entries
-    | Some _ -> err (path ^ ".soak") "expected an array"
+    | Some (Null | Bool _ | Num _ | Str _ | Obj _) ->
+      err (path ^ ".soak") "expected an array"
     | None -> err path "missing key \"soak\"");
     (match field chaos path "restart" with
     | Some (List entries) ->
@@ -371,13 +375,15 @@ let check_chaos path = function
             | Some (Str w) when w <> "" -> ()
             | Some Null | None ->
               err (p ^ ".witness") "fresh restart must record a checker witness"
-            | Some _ -> err (p ^ ".witness") "expected a non-empty string")
+            | Some (Bool _ | Num _ | Str _ | List _ | Obj _) ->
+              err (p ^ ".witness") "expected a non-empty string")
           | Some other -> err (p ^ ".mode") (Printf.sprintf "unknown mode %S" other)
           | None -> ())
         entries
-    | Some _ -> err (path ^ ".restart") "expected an array"
+    | Some (Null | Bool _ | Num _ | Str _ | Obj _) ->
+      err (path ^ ".restart") "expected an array"
     | None -> err path "missing key \"restart\"")
-  | _ -> err path "expected an object"
+  | Null | Bool _ | Num _ | Str _ | List _ -> err path "expected an object"
 
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json" in

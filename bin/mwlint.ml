@@ -1,0 +1,74 @@
+(* mwlint: the repo's AST-driven concurrency & I/O-discipline lint.
+
+     mwlint [--baseline FILE] [--rules] DIR_OR_FILE...
+
+   Parses every .ml under the given roots (default: lib bin bench test)
+   into a Parsetree, runs the rule engine (see lib/analysis/RULES.md),
+   subtracts the checked-in baseline, and exits non-zero on any new
+   finding.  Exit codes: 0 clean, 1 new findings, 2 usage / parse /
+   baseline errors. *)
+
+let usage = "mwlint [--baseline FILE] [--rules] [DIR_OR_FILE...]"
+
+let () =
+  let baseline_path = ref "" in
+  let list_rules = ref false in
+  let roots = ref [] in
+  Arg.parse
+    [
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE checked-in suppression file (RULE file:line justification)" );
+      ("--rules", Arg.Set list_rules, " list the rule catalog and exit");
+    ]
+    (fun root -> roots := root :: !roots)
+    usage;
+  if !list_rules then begin
+    List.iter
+      (fun (name, descr) -> Printf.printf "%-22s %s\n" name descr)
+      Analysis.Rules.all_rules;
+    exit 0
+  end;
+  let roots =
+    match List.rev !roots with
+    | [] -> [ "lib"; "bin"; "bench"; "test" ]
+    | rs -> rs
+  in
+  let files = Analysis.Source.find_ml_files ~roots in
+  if files = [] then begin
+    Printf.eprintf "mwlint: no .ml files under: %s\n" (String.concat " " roots);
+    exit 2
+  end;
+  let sources =
+    List.map
+      (fun path ->
+        try Analysis.Source.parse_file path
+        with Analysis.Source.Parse_error msg ->
+          Printf.eprintf "mwlint: parse error:\n%s\n" msg;
+          exit 2)
+      files
+  in
+  let findings = Analysis.Engine.analyze sources in
+  let entries =
+    if !baseline_path = "" then []
+    else
+      match Analysis.Baseline.load !baseline_path with
+      | Ok entries -> entries
+      | Error msg ->
+        Printf.eprintf "mwlint: bad baseline %s: %s\n" !baseline_path msg;
+        exit 2
+  in
+  let fresh, stale = Analysis.Baseline.apply ~entries findings in
+  List.iter
+    (fun e ->
+      Printf.eprintf
+        "mwlint: warning: stale baseline entry %s %s:%d (no such finding \
+         anymore — delete it)\n"
+        e.Analysis.Baseline.rule e.Analysis.Baseline.file
+        e.Analysis.Baseline.line)
+    stale;
+  List.iter (fun f -> print_endline (Analysis.Finding.to_string f)) fresh;
+  let suppressed = List.length findings - List.length fresh in
+  Printf.printf "mwlint: %d file(s), %d finding(s), %d suppressed\n"
+    (List.length files) (List.length fresh) suppressed;
+  if fresh <> [] then exit 1

@@ -442,7 +442,7 @@ let parse_hostport spec =
   | Some i -> (
     let host = String.sub spec 0 i in
     match
-      ( (try Some (Unix.inet_addr_of_string host) with _ -> None),
+      ( (try Some (Unix.inet_addr_of_string host) with Failure _ -> None),
         int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
       )
     with

@@ -65,7 +65,7 @@ let () =
       "  Σ1 (affected, eliminated) = {%s}; Σ2 keeps %d servers; critical at %d\n"
       (String.concat ", " (List.map string_of_int sigma1))
       (List.length sigma2) i1
-  | _ -> assert false);
+  | Sieve.Too_few_unaffected _ | Sieve.Anchor_violation _ -> assert false);
 
   hr ();
   print_endline "And the other side of Table 1 — fast READS exist, up to a";

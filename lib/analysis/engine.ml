@@ -1,0 +1,7 @@
+let analyze sources =
+  let st = Rules.create_state () in
+  List.iter (Rules.analyze_file st) sources;
+  let all = Rules.lock_order_findings st @ Rules.findings st in
+  List.sort_uniq Finding.compare all
+
+let analyze_string ~path src = analyze [ Source.parse_string ~path src ]

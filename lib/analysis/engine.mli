@@ -1,0 +1,12 @@
+(** The mwlint engine: run every rule over a set of parsed sources and
+    produce the sorted, deduplicated finding list. *)
+
+val analyze : Source.t list -> Finding.t list
+(** Single-file rules on each source, then the cross-file LOCK-ORDER
+    pass over the union of function summaries.  Findings come back
+    sorted by (file, line, rule) with exact duplicates removed. *)
+
+val analyze_string : path:string -> string -> Finding.t list
+(** [analyze] on one inline snippet — the test-fixture entry point.
+    [path] participates in the path-scoped allowlists exactly as a real
+    file's path would. *)

@@ -1,0 +1,13 @@
+type t = { rule : string; file : string; line : int; message : string }
+
+let of_loc ~rule ~file (loc : Location.t) message =
+  { rule; file; line = loc.Location.loc_start.Lexing.pos_lnum; message }
+
+let key f = (f.rule, f.file, f.line)
+
+let compare a b =
+  compare
+    (a.file, a.line, a.rule, a.message)
+    (b.file, b.line, b.rule, b.message)
+
+let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message

@@ -1,0 +1,15 @@
+(** Lint findings, keyed by (rule, file, line). *)
+
+type t = { rule : string; file : string; line : int; message : string }
+
+val of_loc : rule:string -> file:string -> Location.t -> string -> t
+(** Anchor a finding at the start line of an AST location. *)
+
+val key : t -> string * string * int
+(** The (rule, file, line) identity used for baseline matching. *)
+
+val compare : t -> t -> int
+(** Order by file, then line, then rule — the report order. *)
+
+val to_string : t -> string
+(** [file:line: \[RULE\] message] — the one-line report form. *)

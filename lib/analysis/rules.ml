@@ -1,0 +1,687 @@
+(* The rule walker: one recursive pass per file that threads a *lexical
+   held-locks* state through every expression, emits the local findings
+   (BLOCKING-UNDER-LOCK, MONOTONIC-TIME, RAW-IO, CONDITION-WAIT-LOOP,
+   CATCH-ALL-EXN) on the way, and records per-function summaries
+   (direct lock acquisitions, lock-nesting edges, resolved calls with
+   the held set at the call site) from which the engine later builds
+   the inter-module LOCK-ORDER graph.
+
+   The held-lock tracking is deliberately lexical and conservative:
+
+   - [Mutex.protect l (fun () -> e)] holds [l] over [e];
+   - [Mutex.lock l; ...; Mutex.unlock l] holds [l] over the sequence
+     between the two calls (threaded through [if]/[match] scrutinees,
+     sequences and loops; branches are assumed lock-balanced);
+   - anonymous closures passed as arguments are assumed to run at the
+     call site (true for the [List.iter (fun ...)]-style iteration the
+     repo uses), so they inherit the held set;
+   - [let f = fun ... ->] bindings are *function definitions*: their
+     bodies are walked with an empty held set and get their own
+     summary, and calls to them propagate their transitive lock
+     acquisitions into the caller's context;
+   - closures passed to [Thread.create] / [Domain.spawn] start on a
+     fresh stack: they are walked with an empty held set under an
+     anonymous summary that no call site can reach, so their locks
+     never leak into the spawner's acquisition set (their own nesting
+     edges still enter the global lock-order graph). *)
+
+open Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* Rule catalog                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lock_order = "LOCK-ORDER"
+
+let blocking_under_lock = "BLOCKING-UNDER-LOCK"
+
+let monotonic_time = "MONOTONIC-TIME"
+
+let raw_io = "RAW-IO"
+
+let condition_wait_loop = "CONDITION-WAIT-LOOP"
+
+let catch_all_exn = "CATCH-ALL-EXN"
+
+let all_rules =
+  [
+    (lock_order, "mutex acquisition order must be acyclic across the repo");
+    ( blocking_under_lock,
+      "no blocking syscall lexically inside a held-lock region" );
+    ( monotonic_time,
+      "deadlines and elapsed times use Clock.now, not Unix.gettimeofday" );
+    (raw_io, "raw socket reads/writes live only in lib/transport/netio.ml");
+    ( condition_wait_loop,
+      "Condition.wait only inside a while predicate-recheck loop" );
+    ( catch_all_exn,
+      "no catch-all exception handler swallowing I/O failures" );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Configuration: call sets and path-scoped allowlists                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Whole-component suffix match, so rules behave identically on
+   "lib/transport/mux.ml" and "/abs/prefix/lib/transport/mux.ml". *)
+let path_matches ~suffix path =
+  path = suffix
+  || String.length path > String.length suffix
+     && String.ends_with ~suffix:("/" ^ suffix) path
+
+let in_files files path =
+  List.exists (fun suffix -> path_matches ~suffix path) files
+
+(* MONOTONIC-TIME: the only places allowed to read the wall clock.
+   History timestamps are *meant* to be wall time (operators correlate
+   them with external logs); everything else — deadlines, backoff
+   gates, elapsed-time measurements — must use the monotonic
+   [Clock.now]. *)
+let wall_clock_files =
+  [
+    "lib/history/recorder.ml";
+    "lib/transport/session.ml";
+    "lib/transport/clock.ml" (* defines the gettimeofday fallback *);
+  ]
+
+(* RAW-IO: the single EINTR-retrying choke point for socket I/O. *)
+let raw_io_files = [ "lib/transport/netio.ml" ]
+
+let raw_io_calls =
+  [ "Unix.read"; "Unix.write"; "Unix.single_write"; "Unix.recv"; "Unix.send" ]
+
+(* BLOCKING-UNDER-LOCK: calls that can park the thread indefinitely. *)
+let blocking_calls =
+  raw_io_calls
+  @ [
+      "Unix.select";
+      "Unix.sleep";
+      "Unix.sleepf";
+      "Unix.accept";
+      "Unix.connect";
+      "Netio.read";
+      "Netio.write_all";
+      "Thread.delay";
+      "Thread.join";
+    ]
+
+(* (file, enclosing function, callee) triples exempt from
+   BLOCKING-UNDER-LOCK.  The server's reply paths write under the
+   per-connection [wlock] by design: it is a pure write-serialisation
+   lock (handler thread vs. fault-plan delayer threads interleaving
+   frames on one socket), never nested inside any other lock, and the
+   receive path does not take it — so a stalled peer blocks only its
+   own connection's writers, which is the intended backpressure. *)
+let blocking_allow =
+  [
+    ("lib/transport/server.ml", "handle_conn", "Netio.write_all");
+    ("lib/transport/server.ml", "schedule_delayed", "Netio.write_all");
+  ]
+
+(* CATCH-ALL-EXN fires only when the guarded body touches these
+   modules: a wildcard around pure code is style, a wildcard around
+   I/O swallows link failures (the exact bug class behind the PR-4
+   EINTR fix). *)
+let io_modules = [ "Unix"; "Netio" ]
+
+(* ------------------------------------------------------------------ *)
+(* Summaries shared across files (for LOCK-ORDER)                      *)
+(* ------------------------------------------------------------------ *)
+
+type site = { s_file : string; s_line : int }
+
+type fsum = {
+  mutable f_acquires : string list;  (* direct lock acquisitions *)
+  mutable f_edges : (string * string * site) list;  (* held -> acquired *)
+  mutable f_calls : (string * string list * site) list;  (* callee, held *)
+}
+
+type state = {
+  funcs : (string, fsum) Hashtbl.t;
+  mutable findings : Finding.t list;
+}
+
+let create_state () = { funcs = Hashtbl.create 64; findings = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Small AST helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let lid_path lid = String.concat "." (Longident.flatten lid)
+
+(* Normalise [Stdlib.Mutex.lock] and friends to their short form. *)
+let strip_stdlib path =
+  match String.length path > 7 && String.sub path 0 7 = "Stdlib." with
+  | true -> String.sub path 7 (String.length path - 7)
+  | false -> path
+
+let head_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (strip_stdlib (lid_path txt))
+  | _ -> None
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let rec is_wild p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (q, _) | Ppat_constraint (q, _) -> is_wild q
+  | Ppat_or (a, b) -> is_wild a || is_wild b
+  | _ -> false
+
+let rec exn_wild p =
+  match p.ppat_desc with
+  | Ppat_exception q -> is_wild q
+  | Ppat_or (a, b) -> exn_wild a || exn_wild b
+  | Ppat_constraint (q, _) -> exn_wild q
+  | _ -> false
+
+(* Does [e] mention an identifier qualified by one of [mods]? *)
+let mentions_module mods e =
+  let found = ref false in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+      match Longident.flatten txt with
+      | m :: _ :: _ when List.mem m mods -> found := true
+      | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
+(* A handler that re-raises is not swallowing. *)
+let reraises e =
+  let found = ref false in
+  let expr it e =
+    (match head_ident e with
+    | Some ("raise" | "raise_notrace" | "Printexc.raise_with_backtrace") ->
+      found := true
+    | _ -> (
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } -> (
+        match strip_stdlib (lid_path txt) with
+        | "raise" | "raise_notrace" | "Printexc.raise_with_backtrace" ->
+          found := true
+        | _ -> ())
+      | _ -> ()));
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* The walker                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type fctx = {
+  st : state;
+  file : string;
+  mutable modname : string;
+  mutable fn_stack : string list;  (* innermost first *)
+  mutable locals : (string * string) list;  (* local fn name -> summary key *)
+  mutable while_depth : int;
+}
+
+let report ctx ~rule loc msg =
+  ctx.st.findings <-
+    Finding.of_loc ~rule ~file:ctx.file loc msg :: ctx.st.findings
+
+let fn_key ctx =
+  match ctx.fn_stack with
+  | [] -> ctx.modname ^ ".<top>"
+  | fs -> ctx.modname ^ "." ^ String.concat "." (List.rev fs)
+
+let summary ctx =
+  let key = fn_key ctx in
+  match Hashtbl.find_opt ctx.st.funcs key with
+  | Some s -> s
+  | None ->
+    let s = { f_acquires = []; f_edges = []; f_calls = [] } in
+    Hashtbl.add ctx.st.funcs key s;
+    s
+
+let site_of ctx loc = { s_file = ctx.file; s_line = line_of loc }
+
+(* Locks are identified by their final field/variable name, qualified
+   by the defining module: precise enough to separate [Server.wlock]
+   from [Mux.lock], coarse enough that every instance of a
+   per-connection lock is one graph node (which is exactly what a
+   lock-ORDER discipline is about). *)
+let lock_name ctx e =
+  let base =
+    match e.pexp_desc with
+    | Pexp_field (_, { txt; _ }) -> Longident.last txt
+    | Pexp_ident { txt; _ } -> Longident.last txt
+    | _ -> "<anon>"
+  in
+  ctx.modname ^ "." ^ base
+
+let record_acquire ctx held name loc =
+  let s = summary ctx in
+  s.f_acquires <- name :: s.f_acquires;
+  List.iter (fun h -> s.f_edges <- (h, name, site_of ctx loc) :: s.f_edges) held
+
+let record_call ctx held callee loc =
+  let s = summary ctx in
+  s.f_calls <- (callee, held, site_of ctx loc) :: s.f_calls
+
+(* Resolve a call target to a summary key: local function scopes first,
+   then a module-level sibling, then (for qualified paths) another
+   scanned module's top-level function. *)
+let resolve ctx path =
+  if String.contains path '.' then path
+  else
+    match List.assoc_opt path ctx.locals with
+    | Some key -> key
+    | None -> ctx.modname ^ "." ^ path
+
+let remove_last held name =
+  let rec go = function
+    | [] -> []
+    | h :: tl when h = name -> tl
+    | h :: tl -> h :: go tl
+  in
+  List.rev (go (List.rev held))
+
+let blocking_allowed ctx callee =
+  (* The enclosing *named* function: synthetic frames (spawned-closure
+     summaries) don't rename the region for allowlisting purposes. *)
+  let fn =
+    match List.find_opt (fun f -> f = "" || f.[0] <> '<') ctx.fn_stack with
+    | Some f -> f
+    | None -> "<top>"
+  in
+  List.exists
+    (fun (file, func, call) ->
+      path_matches ~suffix:file ctx.file && func = fn && call = callee)
+    blocking_allow
+
+let check_ident ctx path loc =
+  if path = "Unix.gettimeofday" && not (in_files wall_clock_files ctx.file)
+  then
+    report ctx ~rule:monotonic_time loc
+      "Unix.gettimeofday outside the wall-clock allowlist: deadlines, \
+       backoff gates and elapsed times must use the monotonic Clock.now \
+       (history timestamps belong in Recorder/Session)";
+  if List.mem path raw_io_calls && not (in_files raw_io_files ctx.file) then
+    report ctx ~rule:raw_io loc
+      (Printf.sprintf
+         "raw socket I/O (%s) outside lib/transport/netio.ml: use \
+          Netio.write_all / Netio.read so EINTR is retried, not treated \
+          as link death"
+         path)
+
+let catch_all_msg kind =
+  Printf.sprintf
+    "catch-all %s swallows failures of an I/O call: match the exceptions \
+     the call can raise (e.g. Unix.Unix_error _) so programming errors \
+     still crash loudly"
+    kind
+
+let rec walk ctx held e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+    check_ident ctx (strip_stdlib (lid_path txt)) e.pexp_loc;
+    held
+  | Pexp_apply (hd, args) -> walk_apply ctx held e hd args
+  | Pexp_sequence (a, b) ->
+    let held = walk ctx held a in
+    walk ctx held b
+  | Pexp_let (_, vbs, body) ->
+    let held = List.fold_left (walk_binding ctx) held vbs in
+    walk ctx held body
+  | Pexp_fun (_, default, _, body) ->
+    (* Anonymous closures run at the call site (iteration combinators);
+       named ones never reach this case — [walk_binding] and the
+       structure walker route them through a fresh summary instead. *)
+    Option.iter (fun d -> ignore (walk ctx held d)) default;
+    ignore (walk ctx held body);
+    held
+  | Pexp_function cases ->
+    List.iter (walk_case ctx held) cases;
+    held
+  | Pexp_match (scrut, cases) ->
+    List.iter
+      (fun c ->
+        if
+          exn_wild c.pc_lhs && c.pc_guard = None
+          && mentions_module io_modules scrut
+          && not (reraises c.pc_rhs)
+        then
+          report ctx ~rule:catch_all_exn c.pc_lhs.ppat_loc
+            (catch_all_msg "`exception _` handler"))
+      cases;
+    let held = walk ctx held scrut in
+    List.iter (walk_case ctx held) cases;
+    held
+  | Pexp_try (body, cases) ->
+    List.iter
+      (fun c ->
+        if
+          is_wild c.pc_lhs && c.pc_guard = None
+          && mentions_module io_modules body
+          && not (reraises c.pc_rhs)
+        then
+          report ctx ~rule:catch_all_exn c.pc_lhs.ppat_loc
+            (catch_all_msg "`with _` handler"))
+      cases;
+    ignore (walk ctx held body);
+    List.iter (walk_case ctx held) cases;
+    held
+  | Pexp_ifthenelse (c, a, b) ->
+    let held = walk ctx held c in
+    ignore (walk ctx held a);
+    Option.iter (fun b -> ignore (walk ctx held b)) b;
+    held
+  | Pexp_while (cond, body) ->
+    let held = walk ctx held cond in
+    ctx.while_depth <- ctx.while_depth + 1;
+    ignore (walk ctx held body);
+    ctx.while_depth <- ctx.while_depth - 1;
+    held
+  | Pexp_for (_, lo, hi, _, body) ->
+    let held = walk ctx held lo in
+    let held = walk ctx held hi in
+    ignore (walk ctx held body);
+    held
+  | _ ->
+    (* Everything else: visit children with the current held set and
+       assume the construct is lock-balanced. *)
+    let expr _ e' = ignore (walk ctx held e') in
+    let it = { Ast_iterator.default_iterator with expr } in
+    Ast_iterator.default_iterator.expr it e;
+    held
+
+and walk_case ctx held c =
+  Option.iter (fun g -> ignore (walk ctx held g)) c.pc_guard;
+  ignore (walk ctx held c.pc_rhs)
+
+and walk_binding ctx held vb =
+  match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+  | Ppat_var { txt = name; _ }, (Pexp_fun _ | Pexp_function _) ->
+    (* A named local function: body runs at call time with no lexical
+       locks; register it so later calls pull in its acquisitions. *)
+    ctx.fn_stack <- name :: ctx.fn_stack;
+    let key = fn_key ctx in
+    ignore (summary ctx);
+    (match vb.pvb_expr.pexp_desc with
+    | Pexp_fun (_, default, _, body) ->
+      Option.iter (fun d -> ignore (walk ctx [] d)) default;
+      ignore (walk ctx [] body)
+    | Pexp_function cases -> List.iter (walk_case ctx []) cases
+    | _ -> ());
+    ctx.fn_stack <- List.tl ctx.fn_stack;
+    ctx.locals <- (name, key) :: ctx.locals;
+    held
+  | _ -> walk ctx held vb.pvb_expr
+
+and walk_apply ctx held e hd args =
+  match head_ident hd with
+  | None ->
+    let held = walk ctx held hd in
+    List.fold_left (fun h (_, a) -> walk ctx h a) held args
+  | Some path -> (
+    let loc = e.pexp_loc in
+    let walk_args held =
+      List.fold_left (fun h (_, a) -> walk ctx h a) held args
+    in
+    let is_with_lock =
+      path = "Mutex.protect"
+      || String.ends_with ~suffix:"with_lock" (String.lowercase_ascii path)
+    in
+    match (path, args) with
+    | "Mutex.lock", [ (_, le) ] ->
+      let name = lock_name ctx le in
+      record_acquire ctx held name loc;
+      ignore (walk ctx held le);
+      held @ [ name ]
+    | "Mutex.unlock", [ (_, le) ] ->
+      ignore (walk ctx held le);
+      remove_last held (lock_name ctx le)
+    | _, [ (_, le); (_, fn) ] when is_with_lock ->
+      let name = lock_name ctx le in
+      record_acquire ctx held name loc;
+      ignore (walk ctx held le);
+      let held_in = held @ [ name ] in
+      (match fn.pexp_desc with
+      | Pexp_fun (_, _, _, body) -> ignore (walk ctx held_in body)
+      | Pexp_ident { txt; _ } ->
+        record_call ctx held_in (resolve ctx (strip_stdlib (lid_path txt))) loc
+      | _ -> ignore (walk ctx held_in fn));
+      held
+    | ("Thread.create" | "Domain.spawn"), _ ->
+      (* The spawned closure starts on a fresh stack: walk it with no
+         held locks under an unreachable summary, so its acquisitions
+         never count as the spawner's. *)
+      let tag = Printf.sprintf "<spawn:%d>" (line_of loc) in
+      ctx.fn_stack <- tag :: ctx.fn_stack;
+      List.iter (fun (_, a) -> ignore (walk ctx [] a)) args;
+      ctx.fn_stack <- List.tl ctx.fn_stack;
+      held
+    | "Condition.wait", _ ->
+      if ctx.while_depth = 0 then
+        report ctx ~rule:condition_wait_loop loc
+          "Condition.wait outside a while loop: a wait must sit in a \
+           predicate-recheck loop (wake-ups are spurious and broadcast \
+           tickers wake everyone)";
+      walk_args held
+    | _ ->
+      check_ident ctx path loc;
+      if List.mem path blocking_calls && held <> []
+         && not (blocking_allowed ctx path)
+      then
+        report ctx ~rule:blocking_under_lock loc
+          (Printf.sprintf
+             "blocking call %s lexically inside a held-lock region (held: \
+              %s): drop the lock around the syscall or stage the I/O"
+             path
+             (String.concat ", " held));
+      record_call ctx held (resolve ctx path) loc;
+      walk_args held)
+
+(* ------------------------------------------------------------------ *)
+(* Structure traversal                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let module_name_of_path path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+let rec walk_structure ctx items =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let name =
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } -> txt
+              | _ -> "<top>"
+            in
+            ctx.fn_stack <- [ name ];
+            ignore (summary ctx);
+            ignore (walk ctx [] vb.pvb_expr);
+            ctx.fn_stack <- [])
+          vbs
+      | Pstr_eval (e, _) ->
+        ctx.fn_stack <- [ "<top>" ];
+        ignore (walk ctx [] e);
+        ctx.fn_stack <- []
+      | Pstr_module { pmb_name = { txt = Some sub; _ }; pmb_expr; _ } -> (
+        match pmb_expr.pmod_desc with
+        | Pmod_structure sub_items ->
+          let saved_mod = ctx.modname and saved_locals = ctx.locals in
+          ctx.modname <- ctx.modname ^ "." ^ sub;
+          ctx.locals <- [];
+          walk_structure ctx sub_items;
+          ctx.modname <- saved_mod;
+          ctx.locals <- saved_locals
+        | _ -> ())
+      | _ -> ())
+    items
+
+let analyze_file st (src : Source.t) =
+  let ctx =
+    {
+      st;
+      file = src.Source.path;
+      modname = module_name_of_path src.Source.path;
+      fn_stack = [];
+      locals = [];
+      while_depth = 0;
+    }
+  in
+  walk_structure ctx src.Source.ast
+
+(* ------------------------------------------------------------------ *)
+(* LOCK-ORDER: transitive acquisition sets and cycle detection         *)
+(* ------------------------------------------------------------------ *)
+
+module SS = Set.Make (String)
+
+(* acquires*(f): every lock f may take, directly or via calls into
+   scanned functions (fixpoint over the call graph). *)
+let transitive_acquires st =
+  let acq = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key s -> Hashtbl.replace acq key (SS.of_list s.f_acquires))
+    st.funcs;
+  let get key = Option.value ~default:SS.empty (Hashtbl.find_opt acq key) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun key s ->
+        let cur = get key in
+        let next =
+          List.fold_left
+            (fun set (callee, _, _) -> SS.union set (get callee))
+            cur s.f_calls
+        in
+        if not (SS.equal next cur) then begin
+          Hashtbl.replace acq key next;
+          changed := true
+        end)
+      st.funcs
+  done;
+  get
+
+(* All lock-nesting edges: lexical nesting recorded during the walk,
+   plus held-set x acquires*(callee) at every call site. *)
+let lock_edges st =
+  let acq = transitive_acquires st in
+  let edges = Hashtbl.create 64 in
+  let add a b site =
+    if not (Hashtbl.mem edges (a, b)) then Hashtbl.add edges (a, b) site
+  in
+  Hashtbl.iter
+    (fun _ s ->
+      List.iter (fun (a, b, site) -> add a b site) s.f_edges;
+      List.iter
+        (fun (callee, held, site) ->
+          SS.iter (fun b -> List.iter (fun a -> add a b site) held)
+            (acq callee))
+        s.f_calls)
+    st.funcs;
+  edges
+
+(* Strongly connected components of the lock graph (Tarjan).  An edge
+   inside an SCC of size > 1 — or a self-edge — participates in a
+   cycle. *)
+let sccs nodes succs =
+  let index = Hashtbl.create 16 and low = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] and counter = ref 0 in
+  let comp = Hashtbl.create 16 in
+  let ncomp = ref 0 in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace low v
+            (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace low v
+            (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: tl ->
+          stack := tl;
+          Hashtbl.remove on_stack w;
+          Hashtbl.replace comp w !ncomp;
+          if w <> v then pop ()
+      in
+      pop ();
+      incr ncomp
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) nodes;
+  comp
+
+let findings st = st.findings
+
+let lock_order_findings st =
+  let edges = lock_edges st in
+  let nodes =
+    Hashtbl.fold (fun (a, b) _ acc -> SS.add a (SS.add b acc)) edges SS.empty
+  in
+  let succs v =
+    Hashtbl.fold
+      (fun (a, b) _ acc -> if a = v then b :: acc else acc)
+      edges []
+  in
+  let comp = sccs (SS.elements nodes) succs in
+  let scc_sizes = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ c ->
+      Hashtbl.replace scc_sizes c
+        (1 + Option.value ~default:0 (Hashtbl.find_opt scc_sizes c)))
+    comp;
+  let cyclic (a, b) =
+    a = b
+    || Hashtbl.find comp a = Hashtbl.find comp b
+       && Hashtbl.find scc_sizes (Hashtbl.find comp a) > 1
+  in
+  Hashtbl.fold
+    (fun (a, b) site acc ->
+      if cyclic (a, b) then
+        {
+          Finding.rule = lock_order;
+          file = site.s_file;
+          line = site.s_line;
+          message =
+            (if a = b then
+               Printf.sprintf
+                 "lock %s re-acquired while already held (self-deadlock: \
+                  stdlib mutexes are not reentrant)"
+                 a
+             else
+               let members =
+                 SS.elements
+                   (SS.filter
+                      (fun v -> Hashtbl.find comp v = Hashtbl.find comp a)
+                      nodes)
+               in
+               Printf.sprintf
+                 "lock acquisition %s -> %s closes a cycle through {%s}: \
+                  pick one global order and stick to it"
+                 a b
+                 (String.concat ", " members));
+        }
+        :: acc
+      else acc)
+    edges []

@@ -1,0 +1,42 @@
+(** The mwlint rule set: six repo-specific concurrency and
+    I/O-discipline rules over Parsetrees.  See [RULES.md] for the
+    catalog with rationale; the allowlists live here so they are
+    code-reviewed along with the rules they scope. *)
+
+(** {1 Rule names} *)
+
+val lock_order : string
+val blocking_under_lock : string
+val monotonic_time : string
+val raw_io : string
+val condition_wait_loop : string
+val catch_all_exn : string
+
+val all_rules : (string * string) list
+(** [(name, one-line description)] for every shipped rule. *)
+
+(** {1 Analysis state}
+
+    Per-file walks accumulate findings and per-function lock/call
+    summaries into a shared state; the cross-file LOCK-ORDER pass runs
+    once all files are in. *)
+
+type state
+
+val create_state : unit -> state
+
+val analyze_file : state -> Source.t -> unit
+(** Run the single-file rules on one source and record its function
+    summaries.  Findings accumulate in the state. *)
+
+val lock_order_findings : state -> Finding.t list
+(** Build the inter-module lock-acquisition graph from every summary
+    recorded so far (lexical nesting plus held-set x transitive
+    acquisitions at call sites) and report each edge participating in a
+    cycle, including self-edges (stdlib mutexes are not reentrant). *)
+
+val findings : state -> Finding.t list
+(** The single-file findings recorded so far (unsorted). *)
+
+val path_matches : suffix:string -> string -> bool
+(** Whole-component suffix match used by every path-scoped allowlist. *)

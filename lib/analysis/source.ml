@@ -1,0 +1,42 @@
+type t = { path : string; ast : Parsetree.structure }
+
+exception Parse_error of string
+
+let parse_string ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> { path; ast }
+  | exception exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+      | Some `Already_displayed | None ->
+        Printf.sprintf "%s: unparseable: %s" path (Printexc.to_string exn)
+    in
+    raise (Parse_error msg)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let src = really_input_string ic (in_channel_length ic) in
+      parse_string ~path src)
+
+let skip_dir entry =
+  entry = "_build" || (String.length entry > 0 && entry.[0] = '.')
+
+let rec walk acc path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry ->
+          if skip_dir entry then acc else walk acc (Filename.concat path entry))
+        acc (Sys.readdir path)
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  else acc
+
+let find_ml_files ~roots =
+  List.sort_uniq String.compare (List.fold_left walk [] roots)

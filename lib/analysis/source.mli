@@ -1,0 +1,26 @@
+(** Loading repo sources into Parsetrees for the lint engine.
+
+    The engine works on plain [Parsetree.structure]s — no typing pass —
+    so any file the compiler can parse can be linted, including files
+    that currently fail to type-check. *)
+
+type t = {
+  path : string;  (** as given to the loader; findings carry it verbatim *)
+  ast : Parsetree.structure;
+}
+
+exception Parse_error of string
+(** Raised with a printable, located message when a source does not
+    parse. *)
+
+val parse_string : path:string -> string -> t
+(** Parse an inline source snippet, attributing locations to [path].
+    Used by the test fixtures; [path] also drives the path-scoped
+    rules (allowlists match on it). *)
+
+val parse_file : string -> t
+
+val find_ml_files : roots:string list -> string list
+(** All [.ml] files under the given roots (a root may itself be a
+    file), sorted; [_build], [.git] and other dot-directories are
+    skipped. *)

@@ -26,7 +26,7 @@ let validate arrivals =
                 (Format.asprintf
                    "Exec_model: round 2 of reader %d precedes its round 1 on server %d"
                    reader srv)
-          | _ -> ())
+          | Token.W _ | Token.R _ -> ())
         seq)
     arrivals
 

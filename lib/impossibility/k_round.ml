@@ -13,7 +13,7 @@ let expand_prefix ~k prefix =
       match tok with
       | Token.R { reader; round = 2 } ->
         List.init (k - 1) (fun j -> Token.r ~reader ~round:(j + 2))
-      | other -> [ other ])
+      | (Token.W _ | Token.R _) as other -> [ other ])
     prefix
 
 let expand_entries ~k entries =

@@ -34,7 +34,7 @@ let check ~t exec =
             List.exists (Token.equal prev) seq
             && not (Hashtbl.mem seen prev)
           then round_order_ok := false
-        | _ -> ())
+        | Token.W _ | Token.R _ -> ())
       seq
   done;
   let max_skips =

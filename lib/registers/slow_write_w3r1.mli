@@ -1,0 +1,27 @@
+(** WkR1 with k = 3 — a three-round write with the admissible fast read.
+    Executable form of the §5.1 remark that the fast-read threshold
+    [R < S/t − 2] does not depend on how many rounds a write takes; see
+    the implementation header. *)
+
+val name : string
+val design_point : Quorums.Bounds.design_point
+
+val algo : Client_core.algo
+(** The protocol's client algorithm, backend-agnostic: the simulator
+    cluster below and the live TCP transport both instantiate exactly
+    this. *)
+
+type cluster
+
+val create : Protocol.Env.t -> cluster
+val control : cluster -> Protocol.Control.t
+
+val write :
+  cluster ->
+  writer:int ->
+  value:int ->
+  k:(Checker.Mw_properties.tag option -> unit) ->
+  unit
+
+val read :
+  cluster -> reader:int -> k:(int -> Checker.Mw_properties.tag option -> unit) -> unit

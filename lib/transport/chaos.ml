@@ -118,8 +118,10 @@ let restart_scenario ?(transport = `Mux) ~mode () =
         ~finally:(fun () -> Cluster.close_clients cl)
         (fun () ->
           Faults.arm faults;
-          let t0 = Unix.gettimeofday () in
-          let ts () = Unix.gettimeofday () -. t0 in
+          (* Relative timestamps for the two-op history: monotonic, so a
+             wall-clock step cannot reorder the invariant under test. *)
+          let t0 = Clock.now () in
+          let ts () = Clock.now () -. t0 in
           let write = algo.Client_core.new_writer cl.Cluster.ctx ~writer:0 in
           let read = algo.Client_core.new_reader cl.Cluster.ctx ~reader:0 in
           let payload = History.initial_value + 41 in

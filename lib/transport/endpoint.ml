@@ -57,7 +57,7 @@ let ignore_sigpipe =
 
 let drop c =
   (match c.fd with
-  | Some fd -> ( try Unix.close fd with _ -> ())
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ());
   c.fd <- None;
   c.stream <- Codec.Stream.create ()
@@ -80,8 +80,8 @@ let try_connect t c =
         c.stream <- Codec.Stream.create ();
         c.attempts <- 0;
         Some fd
-      | exception _ ->
-        (try Unix.close fd with _ -> ());
+      | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
         c.attempts <- c.attempts + 1;
         c.next_attempt <-
           now () +. (t.connect_backoff *. float_of_int (1 lsl min c.attempts 6));
@@ -139,7 +139,7 @@ let send_bytes c bytes len =
     try
       Netio.write_all fd bytes 0 len;
       true
-    with _ ->
+    with Unix.Unix_error _ ->
       drop c;
       false)
 
@@ -150,7 +150,7 @@ let send_truncated c bytes len =
   | None -> ()
   | Some fd -> (
     let prefix = max 1 (len / 2) in
-    try Netio.write_all fd bytes 0 prefix with _ -> ()));
+    try Netio.write_all fd bytes 0 prefix with Unix.Unix_error _ -> ()));
   drop c
 
 (* The round-trip contract of the model (§2.1): send to all S servers,
@@ -241,7 +241,7 @@ let sockets_exec t req k =
               in
               drain ()
             with Codec.Decode_error _ -> drop c)
-          | exception _ -> drop c)
+          | exception Unix.Unix_error _ -> drop c)
         | _ -> ())
       t.conns
   in

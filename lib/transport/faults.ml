@@ -29,7 +29,7 @@ let rule ?dir ?(servers = []) ?(clients = []) ?(from_ = 0.0) ?(until = infinity)
     invalid_arg "Faults.rule: prob out of [0,1]";
   (match kind with
   | Delay d when not (d > 0.0) -> invalid_arg "Faults.rule: delay must be > 0"
-  | _ -> ());
+  | Drop | Delay _ | Duplicate | Truncate -> ());
   Frame { kind; prob; dir; servers; clients; from_s = from_; until_s = until }
 
 let cut ?dir ?servers ?clients ?from_ ?until () =

@@ -108,7 +108,7 @@ let disconnect c fd =
       match c.fd with
       | Some cur when cur == fd -> c.fd <- None
       | _ -> ());
-  try Unix.close fd with _ -> ()
+  try Unix.close fd with Unix.Unix_error _ -> ()
 
 let demux t c fd () =
   let stream = Codec.Stream.create () in
@@ -133,7 +133,7 @@ let demux t c fd () =
            | None -> ()
          in
          drain ()
-       | exception _ -> stop := true
+       | exception Unix.Unix_error _ -> stop := true
      done
    with Codec.Decode_error _ -> ());
   disconnect c fd
@@ -165,8 +165,8 @@ let try_connect t c =
         Mutex.protect t.routes_lock (fun () ->
             t.demuxers <- th :: t.demuxers);
         Some fd
-      | exception _ ->
-        (try Unix.close fd with _ -> ());
+      | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
         c.attempts <- c.attempts + 1;
         c.next_attempt <-
           now () +. (t.connect_backoff *. float_of_int (1 lsl min c.attempts 6));
@@ -214,8 +214,8 @@ let enqueue t c bytes len =
           Mutex.unlock c.lock;
           (match Netio.write_all fd c.staging 0 blen with
           | () -> Mutex.lock c.lock
-          | exception _ ->
-            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+          | exception Unix.Unix_error _ ->
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
             Mutex.lock c.lock;
             (match c.fd with
             | Some cur when cur == fd -> c.fd <- None
@@ -342,7 +342,8 @@ let shutdown t =
       (fun c ->
         Mutex.protect c.lock (fun () ->
             match c.fd with
-            | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+            | Some fd -> (
+              try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
             | None -> ()))
       t.conns;
     let demuxers =
@@ -388,7 +389,8 @@ let exec h req k =
   let sever c =
     Mutex.protect c.lock (fun () ->
         match c.fd with
-        | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+        | Some fd -> (
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
         | None -> ())
   in
   let broadcast () =

@@ -55,7 +55,7 @@ let schedule_delayed t sc frame after =
         Mutex.protect sc.wlock (fun () ->
             if sc.alive then
               try Netio.write_all sc.sfd bytes 0 (Bytes.length bytes)
-              with _ -> ()))
+              with Unix.Unix_error _ -> ()))
       ()
   in
   Mutex.protect t.conns_lock (fun () -> t.delayers <- th :: t.delayers)
@@ -155,10 +155,10 @@ let handle_conn t sc =
          end
        end
      done
-   with _ -> ());
+   with Unix.Unix_error _ | Codec.Decode_error _ -> ());
   Mutex.protect sc.wlock (fun () -> sc.alive <- false);
   remove_conn t sc;
-  (try Unix.close fd with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
   (* Hand ourselves to the accept loop for joining: handler threads must
      not accumulate forever under connect/disconnect churn. *)
   Mutex.protect t.conns_lock (fun () ->
@@ -189,9 +189,9 @@ let accept_loop t =
     | _ :: _, _, _ when t.stopping -> ()
     | _ :: _, _, _ -> (
       match Unix.accept t.listen_fd with
-      | exception _ -> ()
+      | exception Unix.Unix_error _ -> ()
       | fd, _ ->
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
         let sc = { sfd = fd; wlock = Mutex.create (); alive = true } in
         Mutex.protect t.conns_lock (fun () -> t.conns <- sc :: t.conns);
         let th = Thread.create (handle_conn t) sc in
@@ -199,7 +199,7 @@ let accept_loop t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     reap t
   done;
-  try Unix.close t.listen_fd with _ -> ()
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
 
 let start ?(host = "127.0.0.1") ?(port = 0) ?(id = 0) ?faults ~replica () =
   Lazy.force ignore_sigpipe;
@@ -208,7 +208,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(id = 0) ?faults ~replica () =
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   (try Unix.bind fd addr
    with e ->
-     (try Unix.close fd with _ -> ());
+     (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
   Unix.listen fd 64;
   let port =
@@ -246,7 +246,8 @@ let stop t =
        down, then close their own fd and exit. *)
     let conns = Mutex.protect t.conns_lock (fun () -> t.conns) in
     List.iter
-      (fun sc -> try Unix.shutdown sc.sfd Unix.SHUTDOWN_ALL with _ -> ())
+      (fun sc ->
+        try Unix.shutdown sc.sfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conns;
     (match t.accept_thread with
     | Some th ->

@@ -55,7 +55,7 @@ let run_shape ~register ~s ~t ~w ~r ~seed shape =
         | Ok () -> None
         | Error wit -> Some wit)),
       v.Threshold.mwa_failure )
-  | _ ->
+  | (Benign | Skips | Crash | Inversion) as shape ->
     let latency =
       match seed mod 3 with
       | 0 -> Simulation.Latency.constant 2.0
@@ -78,7 +78,7 @@ let run_shape ~register ~s ~t ~w ~r ~seed shape =
           Runtime.write_plan ~writer:0 ~start_at:100.0 1;
           Runtime.read_plan ~reader:0 ~start_at:200.0 1;
         ]
-      | _ -> mixed_plans ~w ~r ~ops:3
+      | Benign | Skips | Crash | Starvation -> mixed_plans ~w ~r ~ops:3
     in
     let out =
       Runtime.run ~register ~env ~plans ~adversary:(Adversary.apply adversary) ()

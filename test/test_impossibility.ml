@@ -230,7 +230,8 @@ let test_theorem_convicts_constant_strategies () =
       let finding, _ = W1r2_theorem.run ~s:4 strat in
       match finding with
       | W1r2_theorem.Anchor_violation _ -> ()
-      | _ -> Alcotest.fail "constant strategies must die on an anchor")
+      | W1r2_theorem.Read_disagreement _ | W1r2_theorem.Unresolved _ ->
+        Alcotest.fail "constant strategies must die on an anchor")
     [ 1; 2 ]
 
 let test_theorem_disagreement_is_concrete () =
@@ -244,7 +245,7 @@ let test_theorem_disagreement_is_concrete () =
       let digits = Exec_model.digits_of_prefix (Exec_model.arrivals exec srv) in
       check int "both writes present" 2 (List.length digits)
     done
-  | other ->
+  | (W1r2_theorem.Anchor_violation _ | W1r2_theorem.Unresolved _) as other ->
     Alcotest.failf "expected a read disagreement, got %s"
       (Format.asprintf "%a" W1r2_theorem.pp_finding other));
   check bool "critical server recorded" true (stats.W1r2_theorem.i1 <> None)
@@ -273,7 +274,8 @@ let test_sieve_honest_effect () =
     check int "no affected servers" 0 (List.length sigma1);
     check int "all unaffected" 5 (List.length sigma2);
     check bool "critical found" true (i1 >= 1 && i1 <= 5)
-  | _ -> Alcotest.fail "honest effect must yield a critical server"
+  | Sieve.Too_few_unaffected _ | Sieve.Anchor_violation _ ->
+    Alcotest.fail "honest effect must yield a critical server"
 
 let test_sieve_flipping_effect () =
   match
@@ -285,7 +287,8 @@ let test_sieve_flipping_effect () =
     check (Alcotest.list int) "sigma2" [ 1; 2; 4; 5 ] sigma2;
     check bool "critical inside shortened chain" true (i1 >= 1 && i1 <= 4);
     check int "chain shortened to |sigma2|+1" 5 (Array.length returns)
-  | _ -> Alcotest.fail "flipping effect must still yield a critical server"
+  | Sieve.Too_few_unaffected _ | Sieve.Anchor_violation _ ->
+    Alcotest.fail "flipping effect must still yield a critical server"
 
 let test_sieve_too_few_unaffected () =
   match
@@ -294,12 +297,14 @@ let test_sieve_too_few_unaffected () =
   with
   | Sieve.Too_few_unaffected { sigma2; _ } ->
     check int "only 2 unaffected" 2 (List.length sigma2)
-  | _ -> Alcotest.fail "expected too-few-unaffected"
+  | Sieve.Anchor_violation _ | Sieve.Critical _ ->
+    Alcotest.fail "expected too-few-unaffected"
 
 let test_sieve_majority_strategy () =
   match Sieve.run ~s:7 ~effect:(Sieve.flip_servers [ 6 ]) Sieve.crucial_majority with
   | Sieve.Critical { i1; _ } -> check bool "critical found" true (i1 >= 1)
-  | _ -> Alcotest.fail "majority crucial strategy should survive anchors"
+  | Sieve.Too_few_unaffected _ | Sieve.Anchor_violation _ ->
+    Alcotest.fail "majority crucial strategy should survive anchors"
 
 let sieve_random_effects =
   QCheck.Test.make ~name:"sieve handles random effects" ~count:200

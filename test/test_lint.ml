@@ -1,0 +1,236 @@
+(* mwlint rule tests: one firing (positive) and one quiet (negative)
+   inline fixture per rule, driven through the same engine entry point
+   the CLI uses.  The [~path] given to a fixture participates in the
+   path-scoped allowlists exactly as a real file's path would, which is
+   how the negatives for MONOTONIC-TIME / RAW-IO / the server's
+   BLOCKING-UNDER-LOCK exemption are expressed. *)
+
+open Analysis
+
+let check = Alcotest.check
+
+let rule_findings ~path src rule =
+  List.filter
+    (fun f -> f.Finding.rule = rule)
+    (Engine.analyze_string ~path src)
+
+let count ~path src rule = List.length (rule_findings ~path src rule)
+
+let fires name ~path src rule =
+  check Alcotest.bool (name ^ ": fires") true (count ~path src rule > 0)
+
+let quiet name ~path src rule =
+  check Alcotest.int (name ^ ": quiet") 0 (count ~path src rule)
+
+(* ------------------------------------------------------------------ *)
+(* MONOTONIC-TIME                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gettimeofday_src = "let elapsed t0 = Unix.gettimeofday () -. t0\n"
+
+let test_monotonic_positive () =
+  fires "gettimeofday in transport code" ~path:"lib/transport/foo.ml"
+    gettimeofday_src Rules.monotonic_time
+
+let test_monotonic_negative () =
+  (* The session records wall-clock history timestamps by design. *)
+  quiet "gettimeofday in the session" ~path:"lib/transport/session.ml"
+    gettimeofday_src Rules.monotonic_time;
+  quiet "Clock.now anywhere" ~path:"lib/transport/foo.ml"
+    "let deadline () = Clock.now () +. 0.5\n" Rules.monotonic_time
+
+(* ------------------------------------------------------------------ *)
+(* RAW-IO                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let raw_write_src = "let send fd b = Unix.write fd b 0 (Bytes.length b)\n"
+
+let test_raw_io_positive () =
+  fires "Unix.write outside netio" ~path:"lib/transport/foo.ml" raw_write_src
+    Rules.raw_io
+
+let test_raw_io_negative () =
+  quiet "Unix.write inside netio" ~path:"lib/transport/netio.ml" raw_write_src
+    Rules.raw_io;
+  quiet "Netio wrapper elsewhere" ~path:"lib/transport/foo.ml"
+    "let send fd b = Netio.write_all fd b 0 (Bytes.length b)\n" Rules.raw_io
+
+(* ------------------------------------------------------------------ *)
+(* CONDITION-WAIT-LOOP                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_condition_wait_positive () =
+  fires "bare Condition.wait" ~path:"lib/foo.ml"
+    "let await c m = Condition.wait c m\n" Rules.condition_wait_loop
+
+let test_condition_wait_negative () =
+  quiet "wait in a predicate-recheck loop" ~path:"lib/foo.ml"
+    "let await c m ready = while not !ready do Condition.wait c m done\n"
+    Rules.condition_wait_loop
+
+(* ------------------------------------------------------------------ *)
+(* CATCH-ALL-EXN                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_catch_all_positive () =
+  fires "wildcard around a read" ~path:"lib/foo.ml"
+    "let recv fd b = try Netio.read fd b 4 with _ -> false\n"
+    Rules.catch_all_exn;
+  fires "wildcard `exception` case" ~path:"lib/foo.ml"
+    "let recv fd b =\n\
+    \  match Netio.read fd b 4 with ok -> ok | exception _ -> false\n"
+    Rules.catch_all_exn
+
+let test_catch_all_negative () =
+  quiet "specific exception" ~path:"lib/foo.ml"
+    "let recv fd b = try Netio.read fd b 4 with Unix.Unix_error _ -> false\n"
+    Rules.catch_all_exn;
+  quiet "wildcard around pure code" ~path:"lib/foo.ml"
+    "let parse s = try int_of_string s with _ -> 0\n" Rules.catch_all_exn;
+  quiet "wildcard that re-raises" ~path:"lib/foo.ml"
+    "let recv fd b = try Netio.read fd b 4 with e -> cleanup (); raise e\n"
+    Rules.catch_all_exn
+
+(* ------------------------------------------------------------------ *)
+(* BLOCKING-UNDER-LOCK                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_blocking_positive () =
+  fires "sleep under Mutex.protect" ~path:"lib/foo.ml"
+    "let m = Mutex.create ()\n\
+     let nap () = Mutex.protect m (fun () -> Unix.sleepf 0.1)\n"
+    Rules.blocking_under_lock;
+  fires "sleep between lock and unlock" ~path:"lib/foo.ml"
+    "let m = Mutex.create ()\n\
+     let nap () = Mutex.lock m; Unix.sleepf 0.1; Mutex.unlock m\n"
+    Rules.blocking_under_lock
+
+let test_blocking_negative () =
+  quiet "lock dropped around the syscall" ~path:"lib/foo.ml"
+    "let m = Mutex.create ()\n\
+     let nap () = Mutex.lock m; Mutex.unlock m; Unix.sleepf 0.1\n"
+    Rules.blocking_under_lock;
+  (* The server's reply path writes under its per-connection write lock
+     by design: (file, function, callee) allowlisted. *)
+  quiet "server batch-drain exemption" ~path:"lib/transport/server.ml"
+    "let handle_conn wlock fd b =\n\
+    \  Mutex.protect wlock (fun () -> Netio.write_all fd b 0 4)\n"
+    Rules.blocking_under_lock
+
+(* ------------------------------------------------------------------ *)
+(* LOCK-ORDER                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_lock_order_positive () =
+  fires "opposite nesting orders" ~path:"lib/foo.ml"
+    "let a = Mutex.create ()\n\
+     let b = Mutex.create ()\n\
+     let f () = Mutex.protect a (fun () -> Mutex.protect b (fun () -> ()))\n\
+     let g () = Mutex.protect b (fun () -> Mutex.protect a (fun () -> ()))\n"
+    Rules.lock_order;
+  (* The second leg of the cycle runs through a call: g holds b and
+     calls f, whose transitive acquisitions include a. *)
+  fires "cycle through a call site" ~path:"lib/foo.ml"
+    "let a = Mutex.create ()\n\
+     let b = Mutex.create ()\n\
+     let f () = Mutex.protect a (fun () -> Mutex.protect b (fun () -> ()))\n\
+     let g () = Mutex.protect b (fun () -> f ())\n"
+    Rules.lock_order;
+  fires "self-deadlock" ~path:"lib/foo.ml"
+    "let a = Mutex.create ()\n\
+     let f () = Mutex.protect a (fun () -> Mutex.protect a (fun () -> ()))\n"
+    Rules.lock_order
+
+let test_lock_order_negative () =
+  quiet "consistent global order" ~path:"lib/foo.ml"
+    "let a = Mutex.create ()\n\
+     let b = Mutex.create ()\n\
+     let f () = Mutex.protect a (fun () -> Mutex.protect b (fun () -> ()))\n\
+     let g () = Mutex.protect a (fun () -> Mutex.protect b (fun () -> ()))\n"
+    Rules.lock_order;
+  (* A closure handed to Thread.create starts on a fresh stack: its
+     acquisitions must not count as the spawner's. *)
+  quiet "spawned closure is a fresh stack" ~path:"lib/foo.ml"
+    "let a = Mutex.create ()\n\
+     let b = Mutex.create ()\n\
+     let f () =\n\
+    \  Mutex.protect a\n\
+    \    (fun () ->\n\
+    \      ignore (Thread.create (fun () -> Mutex.protect b ignore) ()))\n\
+     let g () = Mutex.protect b (fun () -> Mutex.protect a (fun () -> ()))\n"
+    Rules.lock_order
+
+(* ------------------------------------------------------------------ *)
+(* Baseline mechanics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let finding rule file line =
+  { Finding.rule; file; line; message = "m" }
+
+let test_baseline_apply () =
+  let entries =
+    [
+      { Baseline.rule = "RAW-IO"; file = "lib/a.ml"; line = 3; justification = "j" };
+      { Baseline.rule = "RAW-IO"; file = "lib/b.ml"; line = 9; justification = "j" };
+    ]
+  in
+  let fs = [ finding "RAW-IO" "lib/a.ml" 3; finding "RAW-IO" "lib/a.ml" 4 ] in
+  let fresh, stale = Baseline.apply ~entries fs in
+  check Alcotest.int "one unsuppressed finding" 1 (List.length fresh);
+  check Alcotest.int "one stale entry" 1 (List.length stale);
+  (match stale with
+  | [ e ] -> check Alcotest.string "stale is the b.ml entry" "lib/b.ml" e.Baseline.file
+  | _ -> Alcotest.fail "expected exactly one stale entry")
+
+let test_baseline_load_rejects_bare () =
+  let tmp = Filename.temp_file "mwlint" ".baseline" in
+  let oc = open_out tmp in
+  output_string oc "RAW-IO lib/a.ml:3\n";
+  close_out oc;
+  let r = Baseline.load tmp in
+  Sys.remove tmp;
+  check Alcotest.bool "justification-less line rejected" true
+    (match r with Ok _ -> false | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "monotonic-time",
+        [
+          Alcotest.test_case "positive" `Quick test_monotonic_positive;
+          Alcotest.test_case "negative" `Quick test_monotonic_negative;
+        ] );
+      ( "raw-io",
+        [
+          Alcotest.test_case "positive" `Quick test_raw_io_positive;
+          Alcotest.test_case "negative" `Quick test_raw_io_negative;
+        ] );
+      ( "condition-wait-loop",
+        [
+          Alcotest.test_case "positive" `Quick test_condition_wait_positive;
+          Alcotest.test_case "negative" `Quick test_condition_wait_negative;
+        ] );
+      ( "catch-all-exn",
+        [
+          Alcotest.test_case "positive" `Quick test_catch_all_positive;
+          Alcotest.test_case "negative" `Quick test_catch_all_negative;
+        ] );
+      ( "blocking-under-lock",
+        [
+          Alcotest.test_case "positive" `Quick test_blocking_positive;
+          Alcotest.test_case "negative" `Quick test_blocking_negative;
+        ] );
+      ( "lock-order",
+        [
+          Alcotest.test_case "positive" `Quick test_lock_order_positive;
+          Alcotest.test_case "negative" `Quick test_lock_order_negative;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "apply partitions" `Quick test_baseline_apply;
+          Alcotest.test_case "load rejects bare suppressions" `Quick
+            test_baseline_load_rejects_bare;
+        ] );
+    ]
