@@ -1,13 +1,19 @@
 (* Schema validation for BENCH_results.json.
 
-     dune exec bench/validate_results.exe [-- path]
+     dune exec bench/validate_results.exe [-- [--require-knee] path]
 
    The bench harness hand-rolls its JSON writer, so CI runs this after
    every smoke bench: parse the document with a strict minimal JSON
    reader (no dependencies), then assert the section shapes — required
    keys present with the right types, counters non-negative, durations
-   positive.  Exit status 0 on a conforming file, 1 with a diagnostic
-   otherwise. *)
+   positive.  The live_scaling section also carries semantics: every
+   (protocol, path) swept must include a steady row at >= 1024 total
+   clients (the reactor server's headline capability), and under
+   [--require-knee] — used against the committed full-budget document,
+   not the tiny-op CI smoke regeneration — the best steady throughput
+   at >= 256 clients must beat the thread-per-connection server's
+   recorded C=16 peak, per (protocol, path).  Exit status 0 on a
+   conforming file, 1 with a diagnostic otherwise. *)
 
 type json =
   | Null
@@ -278,25 +284,128 @@ let check_live path = function
       entries
   | Null | Bool _ | Num _ | Str _ | Obj _ -> err path "expected an array"
 
-let check_scaling path = function
+(* The thread-per-connection server's sustained throughput at its
+   contended peak (C=16 in old units: 16 writers + 16 readers = 32
+   client threads), per (protocol, client path), measured on this
+   repo's pre-reactor tree at the default op budget.  These are the
+   knee floors for [--require-knee]: the reactor must hold at C >= 256
+   steady clients at least the throughput the old server managed at 32
+   — i.e. the scaling knee moved out by an order of magnitude, it did
+   not just shift shape. *)
+let threaded_c16_floor =
+  [
+    ("LS97 ABD-MW", "sockets", 89.6);
+    ("LS97 ABD-MW", "mux", 315.6);
+    ("naive fast-write", "sockets", 597.7);
+    ("naive fast-write", "mux", 620.3);
+    ("Huang et al. W2R1", "sockets", 158.6);
+    ("Huang et al. W2R1", "mux", 284.5);
+    ("naive fast-write/fast-read", "sockets", 535.3);
+    ("naive fast-write/fast-read", "mux", 709.8);
+  ]
+
+let check_scaling ~require_knee path = function
   | List entries ->
     if entries = [] then err path "empty";
+    (* (protocol, path, regime, clients, ops/s) per well-formed row,
+       for the cross-row checks below. *)
+    let rows = ref [] in
     List.iteri
       (fun i e ->
         let p = Printf.sprintf "%s[%d]" path i in
-        ignore (want_string e p "protocol");
-        (match want_string e p "path" with
-        | Some ("mux" | "sockets") | None -> ()
+        let protocol = want_string e p "protocol" in
+        let path_s =
+          match want_string e p "path" with
+          | Some ("mux" | "sockets") as ok -> ok
+          | Some other ->
+            err (p ^ ".path") (Printf.sprintf "unknown path %S" other);
+            None
+          | None -> None
+        in
+        (match want_string e p "server" with
+        | Some "reactor" | None -> ()
         | Some other ->
-          err (p ^ ".path") (Printf.sprintf "unknown path %S" other));
-        positive e p "writers";
-        positive e p "readers";
+          err (p ^ ".server") (Printf.sprintf "unknown server %S" other));
+        let regime =
+          match want_string e p "regime" with
+          | Some ("steady" | "short") as ok -> ok
+          | Some other ->
+            err (p ^ ".regime") (Printf.sprintf "unknown regime %S" other);
+            None
+          | None -> None
+        in
+        let clients = want_number e p "clients" in
+        (match clients with
+        | Some c when c <= 0.0 -> err (p ^ ".clients") "must be > 0"
+        | Some _ | None -> ());
+        let w = want_number e p "writers" in
+        let r = want_number e p "readers" in
+        (match[@warning "-4"] (clients, w, r) with
+        | Some c, Some w, Some r when c <> w +. r ->
+          err (p ^ ".clients") "must equal writers + readers"
+        | _ -> ());
+        (match w with
+        | Some w when w <= 0.0 -> err (p ^ ".writers") "must be > 0"
+        | Some _ | None -> ());
+        (match r with
+        | Some r when r <= 0.0 -> err (p ^ ".readers") "must be > 0"
+        | Some _ | None -> ());
         positive e p "ops";
         positive e p "duration_s";
-        positive e p "throughput_ops_per_s";
+        let tput = want_number e p "throughput_ops_per_s" in
+        (match tput with
+        | Some t when t <= 0.0 -> err (p ^ ".throughput_ops_per_s") "must be > 0"
+        | Some _ | None -> ());
         non_negative e p "write_p50_ms";
-        non_negative e p "read_p50_ms")
-      entries
+        non_negative e p "read_p50_ms";
+        match[@warning "-4"] (protocol, path_s, regime, clients, tput) with
+        | Some pr, Some pa, Some re, Some c, Some t ->
+          rows := (pr, pa, re, c, t) :: !rows
+        | _ -> ())
+      entries;
+    let rows = !rows in
+    let groups =
+      List.sort_uniq compare (List.map (fun (pr, pa, _, _, _) -> (pr, pa)) rows)
+    in
+    (* Every (protocol, path) swept must carry the high-concurrency
+       evidence: a steady row at C >= 1024 is what "the reactor
+       sustains a thousand concurrent clients" means in this
+       document. *)
+    List.iter
+      (fun (pr, pa) ->
+        let has_1024 =
+          List.exists
+            (fun (pr', pa', re, c, _) ->
+              pr' = pr && pa' = pa && re = "steady" && c >= 1024.0)
+            rows
+        in
+        if not has_1024 then
+          err path
+            (Printf.sprintf
+               "%s/%s: no steady row with clients >= 1024 (reactor must \
+                sustain C=1024 on both planes)"
+               pr pa))
+      groups;
+    if require_knee then
+      List.iter
+        (fun (pr, pa, floor) ->
+          if List.mem (pr, pa) groups then
+            let best =
+              List.fold_left
+                (fun acc (pr', pa', re, c, t) ->
+                  if pr' = pr && pa' = pa && re = "steady" && c >= 256.0 then
+                    Float.max acc t
+                  else acc)
+                0.0 rows
+            in
+            if best < floor then
+              err path
+                (Printf.sprintf
+                   "%s/%s: best steady throughput at clients >= 256 is %.1f \
+                    ops/s, below the thread-per-connection C=16 peak of %.1f \
+                    — the scaling knee did not move"
+                   pr pa best floor))
+        threaded_c16_floor
   | Null | Bool _ | Num _ | Str _ | Obj _ -> err path "expected an array"
 
 (* The chaos section carries semantics, not just shape: the soak's
@@ -386,7 +495,16 @@ let check_chaos path = function
   | Null | Bool _ | Num _ | Str _ | List _ -> err path "expected an object"
 
 let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json" in
+  let require_knee = ref false in
+  let path = ref "BENCH_results.json" in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--require-knee" -> require_knee := true
+        | _ -> path := arg)
+    Sys.argv;
+  let path = !path in
   let contents =
     try
       let ic = open_in_bin path in
@@ -417,7 +535,7 @@ let () =
   section "wall_clock" check_wall_clock;
   section "micro_ns_per_run" check_micro;
   section "live" check_live;
-  section "live_scaling" check_scaling;
+  section "live_scaling" (check_scaling ~require_knee:!require_knee);
   section "chaos" check_chaos;
   if !optional = 0 then
     err "$"

@@ -402,11 +402,16 @@ let hunt_cmd =
 (* serve                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let serve host port id =
+let serve host port id shards =
+  if shards < 1 then begin
+    Printf.eprintf "mwreg serve: --domains must be >= 1\n";
+    exit 2
+  end;
   let replica = Registers.Replica.create () in
-  let server = Live.Server.start ~host ~port ~id ~replica () in
-  Printf.printf "mwreg server %d listening on %s:%d\n%!" id host
-    (Live.Server.port server);
+  let server = Live.Server.start ~host ~port ~id ~shards ~replica () in
+  Printf.printf "mwreg server %d listening on %s:%d (%d reactor shard%s)\n%!"
+    id host (Live.Server.port server) shards
+    (if shards = 1 then "" else "s");
   (* Serve until the process is killed — which is exactly how clients
      are meant to lose this server. *)
   while true do
@@ -426,11 +431,18 @@ let serve_cmd =
     Arg.(value & opt int 0 & info [ "id" ] ~docv:"I"
          ~doc:"This server's index in the cluster (0-based).")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Reactor event-loop shards: 1 runs the whole reactor on a \
+                   single thread; N > 1 spawns one domain per shard, each \
+                   owning a disjoint set of accepted connections.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run one register server daemon over TCP (kill the process to \
              crash it).")
-    Term.(const serve $ host $ port $ id)
+    Term.(const serve $ host $ port $ id $ shards)
 
 (* ------------------------------------------------------------------ *)
 (* live                                                                 *)
@@ -509,7 +521,18 @@ let live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout =
   Format.printf "@.";
   ok
 
-let live protocol all s tol w r ops connect kills think transport rt_timeout =
+let live protocol all s tol w r ops connect kills think transport rt_timeout
+    server_domains =
+  if server_domains < 1 then begin
+    Printf.eprintf "--server-domains must be >= 1\n";
+    exit 1
+  end;
+  if server_domains > 1 && connect <> [] then begin
+    Printf.eprintf
+      "--server-domains shards loopback servers; an attached cluster \
+       (--connect) picked its own shard count at startup\n";
+    exit 1
+  end;
   let transport =
     match transport with
     | "mux" -> Ok `Mux
@@ -556,7 +579,7 @@ let live protocol all s tol w r ops connect kills think transport rt_timeout =
          artifact, not a violation). *)
       let cluster =
         match addrs with
-        | [] -> Live.Cluster.start ~s ~tol ()
+        | [] -> Live.Cluster.start ~shards:server_domains ~s ~tol ()
         | addrs -> Live.Cluster.connect ~addrs:(Array.of_list addrs) ~tol ()
       in
       Fun.protect
@@ -621,18 +644,31 @@ let live_cmd =
     Arg.(value & opt float 1.0 & info [ "rt-timeout" ] ~docv:"SEC"
          ~doc:"Per-round-trip timeout before re-broadcasting.")
   in
+  let server_domains =
+    Arg.(value & opt int 1
+         & info [ "server-domains" ] ~docv:"N"
+             ~doc:"Reactor shards per loopback server: 1 runs each server's \
+                   event loop on one thread, N > 1 spawns one domain per \
+                   shard (incompatible with --connect).")
+  in
   Cmd.v
     (Cmd.info "live"
        ~doc:"Run a register protocol over real TCP sockets and check the \
              recorded history for atomicity.")
     Term.(const live $ protocol_arg $ all $ s_arg $ t_arg $ w_arg $ r_arg
-          $ ops $ connect $ kills $ think $ transport $ rt_timeout)
+          $ ops $ connect $ kills $ think $ transport $ rt_timeout
+          $ server_domains)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let chaos protocol scenario transport seed drop delay duplicate ops s tol =
+let chaos protocol scenario transport seed drop delay duplicate ops s tol
+    server_domains =
+  if server_domains < 1 then begin
+    Printf.eprintf "--server-domains must be >= 1\n";
+    exit 1
+  end;
   let transport =
     match transport with
     | "mux" -> Ok `Mux
@@ -651,7 +687,7 @@ let chaos protocol scenario transport seed drop delay duplicate ops s tol =
     | Some register ->
       let sk =
         Live.Chaos.soak ~transport ~seed ~drop ~delay ~duplicate ~s ~tol ~ops
-          ~register ()
+          ~server_shards:server_domains ~register ()
       in
       let res = sk.Live.Chaos.result in
       Format.printf "protocol    : %s@." (Registry.name register);
@@ -679,7 +715,10 @@ let chaos protocol scenario transport seed drop delay duplicate ops s tol =
       if sk.Live.Chaos.expected_atomic && not sk.Live.Chaos.atomic then exit 2)
   | (("recover" | "fresh") as m), Ok transport ->
     let mode = if m = "recover" then `Recover else `Fresh in
-    let o = Live.Chaos.restart_scenario ~transport ~mode () in
+    let o =
+      Live.Chaos.restart_scenario ~transport
+        ~server_shards:server_domains ~mode ()
+    in
     Format.printf
       "scenario    : acknowledged write on quorum {0,1}; server 0 killed, \
        restarted %s; read from quorum {0,2}@."
@@ -741,13 +780,19 @@ let chaos_cmd =
     Arg.(value & opt int 8 & info [ "ops" ] ~docv:"N"
          ~doc:"Writes per writer in the soak (each reader does 2N reads).")
   in
+  let server_domains =
+    Arg.(value & opt int 1
+         & info [ "server-domains" ] ~docv:"N"
+             ~doc:"Reactor shards per server: N > 1 puts the fault timers \
+                   and the kill/restart path under a sharded reactor.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Inject a deterministic seeded fault plan (drops, delays, \
              duplicates, truncations, server restarts) into a live cluster \
              and check the recorded history for atomicity.")
     Term.(const chaos $ protocol_arg $ scenario $ transport $ seed_arg $ drop
-          $ delay $ duplicate $ ops $ s_arg $ t_arg)
+          $ delay $ duplicate $ ops $ s_arg $ t_arg $ server_domains)
 
 (* ------------------------------------------------------------------ *)
 

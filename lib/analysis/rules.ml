@@ -83,39 +83,52 @@ let wall_clock_files =
     "lib/transport/clock.ml" (* defines the gettimeofday fallback *);
   ]
 
-(* RAW-IO: the single EINTR-retrying choke point for socket I/O. *)
+(* RAW-IO: the single EINTR-retrying choke point for socket I/O.  The
+   reactor widened the set: readiness waits ([Unix.select]) and accepts
+   now count as raw I/O too, because EINTR handling, EAGAIN semantics
+   and the FD_SETSIZE=1024 select cliff all live behind Netio's
+   non-blocking variants and pollers — a bare select or accept elsewhere
+   reintroduces exactly the bugs the choke point exists to contain. *)
 let raw_io_files = [ "lib/transport/netio.ml" ]
 
 let raw_io_calls =
-  [ "Unix.read"; "Unix.write"; "Unix.single_write"; "Unix.recv"; "Unix.send" ]
+  [
+    "Unix.read";
+    "Unix.write";
+    "Unix.single_write";
+    "Unix.recv";
+    "Unix.send";
+    "Unix.select";
+    "Unix.accept";
+  ]
 
-(* BLOCKING-UNDER-LOCK: calls that can park the thread indefinitely. *)
+(* BLOCKING-UNDER-LOCK: calls that can park the thread indefinitely.
+   Netio's [*_nb] variants are deliberately absent — they return EAGAIN
+   instead of parking, which is the reactor's whole point — while its
+   readiness waits are exactly as blocking as the select they wrap. *)
 let blocking_calls =
   raw_io_calls
   @ [
-      "Unix.select";
       "Unix.sleep";
       "Unix.sleepf";
-      "Unix.accept";
       "Unix.connect";
       "Netio.read";
       "Netio.write_all";
+      "Netio.wait_readable";
+      "Netio.Poller.wait";
       "Thread.delay";
       "Thread.join";
     ]
 
 (* (file, enclosing function, callee) triples exempt from
-   BLOCKING-UNDER-LOCK.  The server's reply paths write under the
-   per-connection [wlock] by design: it is a pure write-serialisation
-   lock (handler thread vs. fault-plan delayer threads interleaving
-   frames on one socket), never nested inside any other lock, and the
-   receive path does not take it — so a stalled peer blocks only its
-   own connection's writers, which is the intended backpressure. *)
-let blocking_allow =
-  [
-    ("lib/transport/server.ml", "handle_conn", "Netio.write_all");
-    ("lib/transport/server.ml", "schedule_delayed", "Netio.write_all");
-  ]
+   BLOCKING-UNDER-LOCK.  Empty since the reactor rewrite: the old
+   thread-per-connection server wrote replies under a per-connection
+   write lock (handler thread vs. fault-plan delayer threads) and
+   carried the only two exemptions.  The reactor's flush path is
+   non-blocking and lock-free — each shard owns its connections
+   outright — so nothing is exempt any more, and a new entry here
+   should be treated as a design smell to justify, not a convenience. *)
+let blocking_allow : (string * string * string) list = []
 
 (* CATCH-ALL-EXN fires only when the guarded body touches these
    modules: a wildcard around pure code is style, a wildcard around

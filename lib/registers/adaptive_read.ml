@@ -62,7 +62,7 @@ let read_core ?(note = fun _ -> ()) (ctx : Client_core.ctx) ~reader ~val_queue ~
             else v :: acc)
           !val_queue seen
       in
-      val_queue := merged;
+      val_queue := Client_core.bound_queue merged;
       let degrees = safe_degrees ~s ~t in
       (* Only the *newest* observed value may be returned fast: returning
          an older value, however well certified, would be a stale read

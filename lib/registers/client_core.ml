@@ -39,6 +39,23 @@ let ack_currents replies =
       | Wire.Read_ack { current; _ } -> Some current)
     replies
 
+(* The reader's valQueue is a recency window, mirroring the replica-side
+   vector bound: only the [max_queue] largest values survive a merge.
+   The queue's job — re-asserting certificates for values the reader may
+   still return (Lemma 3 needs its maximum degree-1 admissible) — only
+   concerns the newest values; carrying every value ever seen makes each
+   QUERY grow with the length of the run. *)
+let max_queue = 16
+
+let bound_queue vs =
+  let sorted = List.sort (fun a b -> Wire.compare_value b a) vs in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take max_queue sorted
+
 (* All distinct values appearing in the READACK vectors, largest first. *)
 let all_values replies =
   let tbl = Hashtbl.create 32 in
@@ -182,7 +199,7 @@ let fast_read ?probe ctx ~reader ~val_queue ~k =
             else v :: acc)
           !val_queue seen
       in
-      val_queue := merged;
+      val_queue := bound_queue merged;
       let degrees = List.init (r + 1) (fun i -> i + 1) in
       let max_seen =
         List.fold_left Wire.value_max (max_current replies) seen

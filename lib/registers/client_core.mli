@@ -54,6 +54,15 @@ val vector_values : (int * Wire.rep) list -> Wire.value list
 (** All distinct values appearing in the replies' vectors, largest
     first. *)
 
+val max_queue : int
+(** Upper bound on a reader's valQueue length after a merge. *)
+
+val bound_queue : Wire.value list -> Wire.value list
+(** The {!max_queue} largest values, descending — the recency window a
+    reader carries between rounds.  Mirrors the replica-side
+    {!Replica.max_vector} bound: without it every QUERY grows with the
+    length of the run. *)
+
 val two_round_write :
   ctx ->
   writer:int ->

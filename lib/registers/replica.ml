@@ -7,13 +7,47 @@ type t = {
   vector : (Tstamp.t, entry) Hashtbl.t;
 }
 
+(* The vector is a *window*, not an archive.  Entries below the
+   [max_vector] largest tags are pruned: their certificates regenerate on
+   demand, because every query folds the client's valQueue back into the
+   vector before the reply snapshot is taken — a value any client still
+   tracks is re-inserted (and the client re-enrolled) by that very query.
+   Without the bound the vector grows with every write ever performed and
+   a READACK serialises all of it, which is what melts the server at high
+   client counts.  [t.current] always carries the maximum tag, so pruning
+   can never evict it. *)
+let max_vector = 32
+
+(* Per-entry cap on the [updated] ids a READACK carries.  The replica
+   keeps the full set (recovery and the Appendix-A certificates need it);
+   only the wire snapshot truncates.  The querying client is always
+   included — it was enrolled in every entry just before the reply, so
+   any value present in [s − t] reply vectors stays degree-1 admissible
+   through the client itself — and the smallest ids come first, so the
+   subset is deterministic and coalitions survive across servers. *)
+let max_wire_updated = 8
+
 let create () =
   let t = { current = Wire.initial_value_entry; vector = Hashtbl.create 16 } in
   Hashtbl.replace t.vector Tstamp.initial
     { payload = Wire.initial_value_entry.Wire.payload; updated = Iset.empty };
   t
 
-let update t (v : Wire.value) c =
+let prune t =
+  let n = Hashtbl.length t.vector in
+  if n > max_vector then begin
+    let tags = Hashtbl.fold (fun tag _ acc -> tag :: acc) t.vector [] in
+    let tags = List.sort Tstamp.compare tags in
+    let drop = n - max_vector in
+    List.iteri
+      (fun i tag -> if i < drop then Hashtbl.remove t.vector tag)
+      tags
+  end
+
+(* The raw insert, pruning deferred: the query path must snapshot the
+   reply *before* pruning, or a below-window value the client just
+   echoed would be evicted again before the reply certifies it. *)
+let update_unpruned t (v : Wire.value) c =
   match Hashtbl.find_opt t.vector v.Wire.tag with
   | Some e ->
     e.updated <- Iset.add c e.updated;
@@ -23,10 +57,40 @@ let update t (v : Wire.value) c =
       { payload = v.Wire.payload; updated = Iset.singleton c };
     if Wire.compare_value v t.current > 0 then t.current <- v
 
+let update t (v : Wire.value) c =
+  update_unpruned t v c;
+  prune t
+
 let snapshot t =
   Hashtbl.fold
     (fun tag e acc ->
       (({ Wire.tag; payload = e.payload } : Wire.value), Iset.elements e.updated)
+      :: acc)
+    t.vector []
+  |> List.sort (fun (a, _) (b, _) -> Wire.compare_value a b)
+
+(* The truncated updated set a READACK carries for one entry: the
+   querying client first, then the smallest other ids, [max_wire_updated]
+   in total.  Elements are sorted, so every server that holds the same
+   set serialises the same subset. *)
+let wire_updated ~client u =
+  if Iset.cardinal u <= max_wire_updated then Iset.elements u
+  else begin
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    if Iset.mem client u then
+      client :: take (max_wire_updated - 1) (Iset.elements (Iset.remove client u))
+    else take max_wire_updated (Iset.elements u)
+  end
+
+let snapshot_wire t ~client =
+  Hashtbl.fold
+    (fun tag e acc ->
+      ( ({ Wire.tag; payload = e.payload } : Wire.value),
+        wire_updated ~client e.updated )
       :: acc)
     t.vector []
   |> List.sort (fun (a, _) (b, _) -> Wire.compare_value a b)
@@ -37,7 +101,13 @@ let handle t ~client req =
     update t v client;
     Wire.Write_ack { current = t.current }
   | Wire.Query vq ->
-    List.iter (fun v -> update t v client) vq;
+    (* Echoed valQueue values are folded in unpruned: they must survive
+       until this reply's snapshot, so the queue maximum always leaves
+       with a fresh certificate (Lemma 3) even when it sits below the
+       retention window.  The transient overshoot is bounded by the
+       client-side queue cap; the window is re-enforced right after the
+       snapshot. *)
+    List.iter (fun v -> update_unpruned t v client) vq;
     (* Record that this client is being told every value in the reply,
        before replying — the rule the Appendix-A proofs rely on ("every
        server which replies to r₂ adds r₂ to its updated set before
@@ -46,7 +116,11 @@ let handle t ~client req =
        breaks) and one read's certificate is invisible to later reads
        (MWA4 breaks). *)
     Hashtbl.iter (fun _ e -> e.updated <- Iset.add client e.updated) t.vector;
-    Wire.Read_ack { current = t.current; vector = snapshot t }
+    let rep =
+      Wire.Read_ack { current = t.current; vector = snapshot_wire t ~client }
+    in
+    prune t;
+    rep
 
 (* The full durable state: enough to rebuild the replica exactly, as a
    plain (sorted, deterministic) value for recovery tests and tooling.

@@ -11,9 +11,26 @@
     On [(write, val)] the server updates and ACKs; on [(read, valQueue)]
     it updates with every queued value {i before} replying with its full
     state.  Note the server never contacts other servers — the paper's
-    model has no server-to-server channel at all. *)
+    model has no server-to-server channel at all.
+
+    The in-memory valuevector is bounded: only the {!max_vector} largest
+    tags are retained, and a READACK serialises at most
+    {!max_wire_updated} ids per entry (always including the querying
+    client, which every replying server enrolled just before the reply).
+    Certificates for pruned values regenerate on demand because queries
+    fold the client's valQueue back into the vector before the snapshot
+    is taken.  Unbounded, the vector grows with every write ever
+    performed and replies grow as O(writes × clients) — the live data
+    plane collapses under exactly the client counts the scaling sweep
+    measures. *)
 
 type t
+
+val max_vector : int
+(** Upper bound on retained valuevector entries (largest tags win). *)
+
+val max_wire_updated : int
+(** Upper bound on [updated] ids serialised per READACK entry. *)
 
 val create : unit -> t
 

@@ -31,9 +31,9 @@ type soak = {
 
 let soak ?(transport = `Mux) ?(seed = 0) ?(drop = 0.08) ?(delay = 0.03)
     ?(duplicate = 0.1) ?(s = 5) ?(tol = 1) ?(ops = 8) ?(restart = true)
-    ~register () =
+    ?(server_shards = 1) ~register () =
   let faults = plan ~seed ~drop ~delay ~duplicate () in
-  let cluster = Cluster.start ~faults ~s ~tol () in
+  let cluster = Cluster.start ~faults ~shards:server_shards ~s ~tol () in
   Fun.protect
     ~finally:(fun () -> Cluster.shutdown cluster)
     (fun () ->
@@ -88,7 +88,7 @@ type restart_outcome = {
   history : Histories.History.t;
 }
 
-let restart_scenario ?(transport = `Mux) ~mode () =
+let restart_scenario ?(transport = `Mux) ?(server_shards = 1) ~mode () =
   let s = 3 and tol = 1 in
   let register = Registry.abd_mwmr in
   let algo = Registry.client_algo register in
@@ -106,7 +106,7 @@ let restart_scenario ?(transport = `Mux) ~mode () =
           ~servers:[ 1 ] ();
       ]
   in
-  let cluster = Cluster.start ~faults ~s ~tol () in
+  let cluster = Cluster.start ~faults ~shards:server_shards ~s ~tol () in
   Fun.protect
     ~finally:(fun () -> Cluster.shutdown cluster)
     (fun () ->

@@ -49,6 +49,7 @@ val soak :
   ?tol:int ->
   ?ops:int ->
   ?restart:bool ->
+  ?server_shards:int ->
   register:Protocol.Register_intf.t ->
   unit ->
   soak
@@ -57,7 +58,10 @@ val soak :
     protocols), [ops] writes per writer and [2·ops] reads per reader
     (default 8), under {!plan}.  With [restart] (default true) server
     [s-1] is killed 0.05s in and restarted with recovered state at
-    0.45s — so the soak also exercises {!Cluster.restart} under load. *)
+    0.45s — so the soak also exercises {!Cluster.restart} under load.
+    [server_shards] (default 1) runs every server with that many
+    reactor event loops ({!Cluster.start}), putting the fault timers
+    and the restart path under a sharded reactor too. *)
 
 type restart_outcome = {
   mode : Cluster.restart_mode;
@@ -69,7 +73,10 @@ type restart_outcome = {
 }
 
 val restart_scenario :
-  ?transport:Cluster.transport -> mode:Cluster.restart_mode -> unit ->
+  ?transport:Cluster.transport ->
+  ?server_shards:int ->
+  mode:Cluster.restart_mode ->
+  unit ->
   restart_outcome
 (** The deterministic crash-stop script, on a 3-server cluster
     ([tol = 1], quorum 2) running LS97 (W2R2):

@@ -6,16 +6,17 @@ type t = {
   sockaddrs : Unix.sockaddr array;
   s : int;
   tol : int;
+  shards : int; (* reactor event loops per server; restarts reuse it *)
   faults : Faults.t option;
 }
 
-let start ?faults ~s ~tol () =
+let start ?faults ?(shards = 1) ~s ~tol () =
   if s < 2 then invalid_arg "Cluster.start: need at least 2 servers";
   if tol < 0 || tol >= s then invalid_arg "Cluster.start: need 0 <= tol < s";
   let replicas = Array.init s (fun _ -> Replica.create ()) in
   let servers =
     Array.init s (fun i ->
-        Some (Server.start ~id:i ?faults ~replica:replicas.(i) ()))
+        Some (Server.start ~id:i ~shards ?faults ~replica:replicas.(i) ()))
   in
   let sockaddrs =
     Array.map
@@ -25,13 +26,21 @@ let start ?faults ~s ~tol () =
         | None -> assert false)
       servers
   in
-  { servers; replicas; sockaddrs; s; tol; faults }
+  { servers; replicas; sockaddrs; s; tol; shards; faults }
 
 let connect ~addrs ~tol () =
   let s = Array.length addrs in
   if s < 2 then invalid_arg "Cluster.connect: need at least 2 servers";
   if tol < 0 || tol >= s then invalid_arg "Cluster.connect: need 0 <= tol < s";
-  { servers = [||]; replicas = [||]; sockaddrs = addrs; s; tol; faults = None }
+  {
+    servers = [||];
+    replicas = [||];
+    sockaddrs = addrs;
+    s;
+    tol;
+    shards = 1;
+    faults = None;
+  }
 
 let local t = Array.length t.servers > 0
 
@@ -84,7 +93,9 @@ let restart ?(mode = `Recover) t i =
     t.replicas.(i) <- replica;
     let port = port t i in
     let rec bind_retrying n =
-      match Server.start ~port ~id:i ?faults:t.faults ~replica () with
+      match
+        Server.start ~port ~id:i ~shards:t.shards ?faults:t.faults ~replica ()
+      with
       | sv -> sv
       | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) when n > 0 ->
         Thread.delay 0.05;

@@ -7,10 +7,13 @@
 
 type t
 
-val start : ?faults:Faults.t -> s:int -> tol:int -> unit -> t
+val start : ?faults:Faults.t -> ?shards:int -> s:int -> tol:int -> unit -> t
 (** Spawn [s] servers tolerating [tol] crashes (quorum [s − tol]).
     [faults] installs a fault plan on every server's reply leg and, by
-    default, on every endpoint {!clients} builds (see {!Faults}). *)
+    default, on every endpoint {!clients} builds (see {!Faults}).
+    [shards] (default 1) is each server's reactor event-loop count
+    ({!Server.start}); {!restart} reuses it, so a recovered server comes
+    back with the topology it crashed with. *)
 
 val connect : addrs:Unix.sockaddr array -> tol:int -> unit -> t
 (** Attach to already-running daemons (e.g. [mwreg serve] processes)
@@ -62,7 +65,7 @@ type transport = [ `Mux | `Sockets ]
     [`Mux] (default) — one shared connection per server for the whole
     client set, demuxed to per-client mailboxes ({!Mux});
     [`Sockets] — the baseline private path, [S] sockets per client
-    polled with [select] ({!Endpoint.create}). *)
+    polled via {!Netio.wait_readable} ({!Endpoint.create}). *)
 
 type clients = {
   writer_eps : Endpoint.t array;

@@ -70,22 +70,30 @@ let try_connect t c =
   | None ->
     if c.attempts > t.connect_retries || now () < c.next_attempt then None
     else begin
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      match
-        Unix.connect fd c.addr;
-        Unix.setsockopt fd Unix.TCP_NODELAY true
-      with
-      | () ->
-        c.fd <- Some fd;
-        c.stream <- Codec.Stream.create ();
-        c.attempts <- 0;
-        Some fd
-      | exception Unix.Unix_error _ ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
+      let fail () =
         c.attempts <- c.attempts + 1;
         c.next_attempt <-
           now () +. (t.connect_backoff *. float_of_int (1 lsl min c.attempts 6));
         None
+      in
+      (* [socket] itself can fail (EMFILE under fd pressure): that must
+         land in the same backoff path as a refused connect, not escape
+         and kill the client thread with a non-protocol exception. *)
+      match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error _ -> fail ()
+      | fd -> (
+        match
+          Unix.connect fd c.addr;
+          Unix.setsockopt fd Unix.TCP_NODELAY true
+        with
+        | () ->
+          c.fd <- Some fd;
+          c.stream <- Codec.Stream.create ();
+          c.attempts <- 0;
+          Some fd
+        | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          fail ())
     end
 
 let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
@@ -271,13 +279,14 @@ let sockets_exec t req k =
       in
       if live = [] then Thread.delay (min 0.01 remaining)
       else
-        match Unix.select live [] [] (min remaining 0.05) with
-        | [], _, _ -> ()
-        | fds, _, _ -> read_ready fds
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | exception Unix.Unix_error (Unix.EBADF, _, _) ->
-          (* A connection died between listing and selecting. *)
-          ()
+        (* poll(2) via Netio, not [Unix.select]: descriptor numbers pass
+           1024 routinely once hundreds of clients each hold S sockets,
+           and select corrupts its fd_set beyond FD_SETSIZE.  EINTR
+           returns [[]]; a connection that died between listing and
+           polling is reported ready, and the read path drops it. *)
+        match Netio.wait_readable live (min remaining 0.05) with
+        | [] -> ()
+        | fds -> read_ready fds
     end
   done;
   if !nreplies >= t.quorum then begin

@@ -18,7 +18,12 @@
       [To_server] direction before sending a request frame to each
       server;
     - the server ({!Server}) consults the [From_server] direction
-      before sending each reply frame.
+      before sending each reply frame.  A delayed reply parks on the
+      owning reactor shard's timer list (there are no delayer threads):
+      the shard's poll timeout shrinks to the nearest deadline, and the
+      frame is appended to the connection's out-queue when it fires —
+      or silently dropped if the connection died first, which is also a
+      legal behaviour of the link being modelled.
 
     So a rule with [dir = Some To_server] faults the request leg only,
     [Some From_server] the reply leg only, and [None] both — the

@@ -143,7 +143,16 @@ let demux t c fd () =
 (* ------------------------------------------------------------------ *)
 
 (* Bounded, exponentially backed-off reconnect; [c.lock] must be held.
-   A fresh connection gets a fresh demux thread. *)
+   A fresh connection gets a fresh demux thread.  Every failure mode —
+   including [socket] itself (EMFILE under fd pressure) and a failed
+   [Thread.create] — lands in the backoff path rather than escaping:
+   an exception thrown past a caller holding [c.lock] would poison the
+   connection (and wedge [shutdown]) forever. *)
+let backoff t c =
+  c.attempts <- c.attempts + 1;
+  c.next_attempt <-
+    now () +. (t.connect_backoff *. float_of_int (1 lsl min c.attempts 6))
+
 let try_connect t c =
   match c.fd with
   | Some fd -> Some fd
@@ -153,24 +162,34 @@ let try_connect t c =
       || now () < c.next_attempt
     then None
     else begin
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      match
-        Unix.connect fd c.addr;
-        Unix.setsockopt fd Unix.TCP_NODELAY true
-      with
-      | () ->
-        c.fd <- Some fd;
-        c.attempts <- 0;
-        let th = Thread.create (demux t c fd) () in
-        Mutex.protect t.routes_lock (fun () ->
-            t.demuxers <- th :: t.demuxers);
-        Some fd
+      match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
       | exception Unix.Unix_error _ ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        c.attempts <- c.attempts + 1;
-        c.next_attempt <-
-          now () +. (t.connect_backoff *. float_of_int (1 lsl min c.attempts 6));
+        backoff t c;
         None
+      | fd -> (
+        match
+          Unix.connect fd c.addr;
+          Unix.setsockopt fd Unix.TCP_NODELAY true
+        with
+        | () -> (
+          c.fd <- Some fd;
+          c.attempts <- 0;
+          match Thread.create (demux t c fd) () with
+          | th ->
+            Mutex.protect t.routes_lock (fun () ->
+                t.demuxers <- th :: t.demuxers);
+            Some fd
+          | exception _ ->
+            (* No demux thread was created, so this thread is the fd's
+               only owner and may close it directly. *)
+            c.fd <- None;
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            backoff t c;
+            None)
+        | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          backoff t c;
+          None)
     end
 
 (* Send [len] bytes on the shared connection.  The caller appends under
@@ -188,6 +207,12 @@ let try_connect t c =
 let enqueue t c bytes len =
   Mutex.lock c.lock;
   match try_connect t c with
+  | exception e ->
+    (* [try_connect] contains its own failures; this is pure defence —
+       a leaked [c.lock] would deadlock every later rider and
+       [shutdown] itself. *)
+    Mutex.unlock c.lock;
+    raise e
   | None ->
     Mutex.unlock c.lock;
     false

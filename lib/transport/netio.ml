@@ -1,3 +1,10 @@
+(* The transport's single raw-I/O choke point (see lib/analysis/RULES.md,
+   RAW-IO): every syscall that moves bytes or waits for readiness lives
+   here, wrapped with one EINTR policy — blocking variants retry, the
+   non-blocking variants retry EINTR but surface EAGAIN/EWOULDBLOCK as
+   [None] so a reactor can park the descriptor until the poller says
+   otherwise. *)
+
 let rec write_all fd buf pos len =
   if len > 0 then
     match Unix.write fd buf pos len with
@@ -8,3 +15,185 @@ let rec read fd buf pos len =
   match Unix.read fd buf pos len with
   | n -> n
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> read fd buf pos len
+
+(* ------------------------------------------------------------------ *)
+(* Non-blocking variants                                               *)
+(* ------------------------------------------------------------------ *)
+
+let set_nonblock fd = Unix.set_nonblock fd
+
+let rec read_nb fd buf pos len =
+  match Unix.read fd buf pos len with
+  | n -> Some n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_nb fd buf pos len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> None
+
+let rec write_nb fd buf pos len =
+  match Unix.write fd buf pos len with
+  | n -> Some n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_nb fd buf pos len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> None
+
+let rec accept_nb fd =
+  match Unix.accept fd with
+  | cfd, _ -> Some cfd
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+    (* A connection that died in the backlog is not "no connections":
+       another may be waiting right behind it. *)
+    accept_nb fd
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> None
+
+(* ------------------------------------------------------------------ *)
+(* Wakeup pipes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let wake_byte = Bytes.make 1 '!'
+
+let notify fd =
+  (* One byte is one wakeup; a full pipe already guarantees one, so
+     EAGAIN is success here.  A torn-down peer (EPIPE/EBADF during
+     shutdown races) is equally fine: there is nobody left to wake. *)
+  match Unix.write fd wake_byte 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> (
+    match Unix.write fd wake_byte 0 1 with
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let drain_wake =
+  let sink = Bytes.create 64 in
+  fun fd ->
+    let rec go () =
+      match read_nb fd sink 0 (Bytes.length sink) with
+      | Some n when n > 0 -> go ()
+      | Some _ | None -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+
+(* ------------------------------------------------------------------ *)
+(* Readiness waits                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* On Unix a file descriptor is the int; both planes key tables by it. *)
+external fd_int : Unix.file_descr -> int = "%identity"
+external fd_of_int : int -> Unix.file_descr = "%identity"
+
+(* Event/interest encoding shared with poll_stubs.c:
+   (fd lsl 3) lor bits, bits: 1 readable, 2 writable, 4 error. *)
+let bit_read = 1
+let bit_write = 2
+let bit_err = 4
+
+external epoll_create : unit -> int = "mwreg_epoll_create"
+external epoll_ctl : int -> int -> int -> int -> unit = "mwreg_epoll_ctl"
+external epoll_wait : int -> int -> int array -> int = "mwreg_epoll_wait"
+external raw_poll : int array -> int -> int -> int = "mwreg_poll"
+
+let to_ms timeout =
+  if timeout <= 0.0 then 0 else int_of_float (Float.ceil (timeout *. 1000.0))
+
+let wait_readable fds timeout =
+  match fds with
+  | [] -> []
+  | _ ->
+    let n = List.length fds in
+    let arr = Array.make n 0 in
+    List.iteri (fun i fd -> arr.(i) <- (fd_int fd lsl 3) lor bit_read) fds;
+    if raw_poll arr n (to_ms timeout) = 0 then []
+    else
+      (* Errors (incl. a descriptor closed underneath us, POLLNVAL)
+         count as readable: the caller's read path surfaces the failure
+         and drops the connection, exactly as the select path did. *)
+      List.filteri (fun i _ -> arr.(i) land (bit_read lor bit_err) <> 0) fds
+
+module Poller = struct
+  type t = {
+    ep : int; (* epoll instance, or -1 → poll over [interest] *)
+    interest : (int, int) Hashtbl.t; (* fd → interest bits *)
+    mutable evbuf : int array; (* epoll event staging, reused *)
+    mutable pollbuf : int array; (* poll interest staging, reused *)
+  }
+
+  let create () =
+    {
+      ep = epoll_create ();
+      interest = Hashtbl.create 64;
+      evbuf = Array.make 256 0;
+      pollbuf = [||];
+    }
+
+  let add t fd ~want_write =
+    let bits = if want_write then bit_read lor bit_write else bit_read in
+    let k = fd_int fd in
+    Hashtbl.replace t.interest k bits;
+    if t.ep >= 0 then epoll_ctl t.ep 0 k bits
+
+  let set_write t fd want =
+    let k = fd_int fd in
+    match Hashtbl.find_opt t.interest k with
+    | None -> ()
+    | Some bits ->
+      let bits' = if want then bits lor bit_write else bits land lnot bit_write in
+      if bits' <> bits then begin
+        Hashtbl.replace t.interest k bits';
+        if t.ep >= 0 then epoll_ctl t.ep 1 k bits'
+      end
+
+  let remove t fd =
+    let k = fd_int fd in
+    if Hashtbl.mem t.interest k then begin
+      Hashtbl.remove t.interest k;
+      if t.ep >= 0 then epoll_ctl t.ep 2 k 0
+    end
+
+  let registered t = Hashtbl.length t.interest
+
+  let dispatch f e =
+    let bits = e land 7 in
+    if bits <> 0 then
+      f
+        (fd_of_int (e lsr 3))
+        ~readable:(bits land (bit_read lor bit_err) <> 0)
+        ~writable:(bits land bit_write <> 0)
+
+  let wait t ~timeout f =
+    let ms = to_ms timeout in
+    if t.ep >= 0 then begin
+      let want = max 64 (Hashtbl.length t.interest + 1) in
+      if Array.length t.evbuf < want then t.evbuf <- Array.make want 0;
+      let n = epoll_wait t.ep ms t.evbuf in
+      for i = 0 to n - 1 do
+        dispatch f t.evbuf.(i)
+      done;
+      n
+    end
+    else begin
+      let m = Hashtbl.length t.interest in
+      if m = 0 then begin
+        if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.0);
+        0
+      end
+      else begin
+        if Array.length t.pollbuf < m then t.pollbuf <- Array.make m 0;
+        let i = ref 0 in
+        Hashtbl.iter
+          (fun k bits ->
+            t.pollbuf.(!i) <- (k lsl 3) lor bits;
+            incr i)
+          t.interest;
+        let n = raw_poll t.pollbuf m ms in
+        if n > 0 then
+          for j = 0 to m - 1 do
+            dispatch f t.pollbuf.(j)
+          done;
+        n
+      end
+    end
+
+  let close t =
+    Hashtbl.reset t.interest;
+    if t.ep >= 0 then
+      try Unix.close (fd_of_int t.ep) with Unix.Unix_error _ -> ()
+end

@@ -1,12 +1,16 @@
-(** Socket I/O helpers shared by the server and both client planes.
+(** Socket I/O for the server reactor and both client planes — the
+    transport's single sanctioned raw-I/O module (mwlint's RAW-IO rule
+    points every [Unix.read]/[write]/[accept]/[select] outside this file
+    back here).
 
-    [Unix.write] and [Unix.read] raise [EINTR] whenever a signal lands
-    mid-syscall (OCaml installs handlers without [SA_RESTART]).  An
-    interrupted write is not a dead link — treating it as one, as all
-    three transport write loops once did, severs a healthy connection
-    and forces a pointless reconnect-and-retry cycle.  These wrappers
-    retry [EINTR] transparently; every other error still propagates so
-    real link failures surface where callers expect them. *)
+    One EINTR policy for everything: OCaml installs signal handlers
+    without [SA_RESTART], so any syscall can be interrupted mid-flight;
+    an interrupted call is not a dead link.  Blocking variants retry
+    EINTR until they complete.  Non-blocking variants ([*_nb]) also
+    retry EINTR, but return [None] on EAGAIN/EWOULDBLOCK so a reactor
+    can park the descriptor with its {!Poller} instead of blocking a
+    thread.  Every other error still propagates: real link failures
+    surface where callers expect them. *)
 
 val write_all : Unix.file_descr -> bytes -> int -> int -> unit
 (** [write_all fd buf pos len] writes exactly [len] bytes of [buf]
@@ -15,3 +19,91 @@ val write_all : Unix.file_descr -> bytes -> int -> int -> unit
 
 val read : Unix.file_descr -> bytes -> int -> int -> int
 (** [Unix.read], restarted on [EINTR]. *)
+
+(** {1 Non-blocking variants} *)
+
+val set_nonblock : Unix.file_descr -> unit
+(** Put [fd] in non-blocking mode (required before the [*_nb] calls
+    below can ever return [None]). *)
+
+val read_nb : Unix.file_descr -> bytes -> int -> int -> int option
+(** [Some n] bytes read ([Some 0] = EOF), or [None] when the socket has
+    nothing buffered (EAGAIN/EWOULDBLOCK).  EINTR is retried. *)
+
+val write_nb : Unix.file_descr -> bytes -> int -> int -> int option
+(** [Some n] bytes accepted by the kernel (possibly short), or [None]
+    when the send buffer is full — the caller should register write
+    interest and come back when the poller says so (backpressure).
+    EINTR is retried. *)
+
+val accept_nb : Unix.file_descr -> Unix.file_descr option
+(** Accept one pending connection, or [None] when the backlog is empty.
+    EINTR and ECONNABORTED (peer died in the backlog) are retried. *)
+
+(** {1 Wakeup pipes}
+
+    A reactor blocked in its poller is woken by writing a byte to a
+    pipe whose read end it watches.  Both calls are non-blocking and
+    swallow failure: a full pipe already guarantees a wakeup, and a
+    closed one means there is nobody left to wake. *)
+
+val notify : Unix.file_descr -> unit
+(** Write one wakeup byte to the pipe's write end. *)
+
+val drain_wake : Unix.file_descr -> unit
+(** Discard every buffered wakeup byte from the pipe's read end. *)
+
+(** {1 Readiness} *)
+
+val fd_int : Unix.file_descr -> int
+(** The descriptor's integer (Unix-only build): the key both planes use
+    for connection tables. *)
+
+val wait_readable : Unix.file_descr list -> float -> Unix.file_descr list
+(** [wait_readable fds timeout] blocks until some of [fds] are readable
+    (or errored — the caller's read path surfaces the failure) and
+    returns them, or [[]] on timeout or EINTR.  Built on poll(2):
+    unlike [Unix.select] it keeps working past descriptor number 1024,
+    which the high-C client sweep crosses routinely. *)
+
+module Poller : sig
+  (** A persistent interest set for a reactor shard: epoll(7) where the
+      platform has it, poll(2) over the registered set elsewhere.
+      Level-triggered either way — an event repeats until its cause is
+      drained, so a shard that processes only part of a socket's data
+      is re-told on the next {!wait}. *)
+
+  type t
+
+  val create : unit -> t
+
+  val add : t -> Unix.file_descr -> want_write:bool -> unit
+  (** Register [fd]; read interest is always on. *)
+
+  val set_write : t -> Unix.file_descr -> bool -> unit
+  (** Toggle write interest — the backpressure lever: on when a
+      connection's out-queue could not be flushed, off once it drains.
+      No-op for unregistered descriptors. *)
+
+  val remove : t -> Unix.file_descr -> unit
+  (** Forget [fd].  Call before closing it. *)
+
+  val registered : t -> int
+  (** Number of registered descriptors. *)
+
+  val wait :
+    t ->
+    timeout:float ->
+    (Unix.file_descr -> readable:bool -> writable:bool -> unit) ->
+    int
+  (** Block up to [timeout] seconds, invoke the callback once per ready
+      descriptor, return the ready count (0 on timeout or EINTR).
+      Errors (EPOLLERR/HUP, POLLNVAL) are reported as [readable]: the
+      owner's read path observes the failure and drops the connection.
+      The callback may [add]/[set_write]/[remove] freely, including for
+      the descriptor being dispatched. *)
+
+  val close : t -> unit
+  (** Release the poller's own resources (registered fds are not
+      touched). *)
+end

@@ -1,0 +1,181 @@
+/* Readiness-notification stubs for the reactor server and the sockets
+ * client plane.
+ *
+ * Two backends share one event encoding.  An event (and, for poll, an
+ * interest) is a single OCaml int:
+ *
+ *     (fd << 3) | bits     bits: 1 = readable, 2 = writable, 4 = error
+ *
+ * - epoll (Linux): mwreg_epoll_create returns -1 where epoll does not
+ *   exist, and the OCaml side falls back to poll over its own interest
+ *   registry.  Level-triggered, matching the reactor's drain-to-EAGAIN
+ *   read loop.
+ * - poll (portable): mwreg_poll takes an array of encoded interests and
+ *   rewrites each entry's bits with the revents.  Unlike select(2) it
+ *   has no FD_SETSIZE cliff, which matters from ~1024 descriptors up.
+ *
+ * Both waits release the OCaml runtime lock, so one shard blocking in
+ * epoll_wait never stalls the other shards (or the main thread).  The
+ * OCaml arrays are copied to C memory before the lock is released: the
+ * GC may move or compact heap blocks while we are not holding it.
+ *
+ * EINTR is reported as "0 events ready"; the callers' loops re-check
+ * their deadlines and wait again, mirroring Netio's EINTR policy.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define MWREG_HAVE_EPOLL 1
+#endif
+
+#define MWREG_RD 1
+#define MWREG_WR 2
+#define MWREG_ERR 4
+
+static void mwreg_sys_fail(const char *who)
+{
+  char msg[160];
+  snprintf(msg, sizeof msg, "%s: %s", who, strerror(errno));
+  caml_failwith(msg);
+}
+
+CAMLprim value mwreg_epoll_create(value unit)
+{
+#ifdef MWREG_HAVE_EPOLL
+  int ep = epoll_create1(0);
+  (void)unit;
+  return Val_int(ep); /* -1 on failure: caller falls back to poll */
+#else
+  (void)unit;
+  return Val_int(-1);
+#endif
+}
+
+CAMLprim value mwreg_epoll_ctl(value vep, value vop, value vfd, value vbits)
+{
+#ifdef MWREG_HAVE_EPOLL
+  struct epoll_event ev;
+  int bits = Int_val(vbits);
+  int op = Int_val(vop) == 0   ? EPOLL_CTL_ADD
+           : Int_val(vop) == 1 ? EPOLL_CTL_MOD
+                               : EPOLL_CTL_DEL;
+  memset(&ev, 0, sizeof ev);
+  ev.events = 0;
+  if (bits & MWREG_RD) ev.events |= EPOLLIN;
+  if (bits & MWREG_WR) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(vfd);
+  if (epoll_ctl(Int_val(vep), op, Int_val(vfd), &ev) == -1) {
+    /* Registry drift is tolerated, not fatal: a re-add becomes a
+       modify, a modify of a forgotten fd becomes an add, deleting an
+       absent (or already-closed) fd is a no-op. */
+    if (op == EPOLL_CTL_ADD && errno == EEXIST) {
+      if (epoll_ctl(Int_val(vep), EPOLL_CTL_MOD, Int_val(vfd), &ev) == 0)
+        return Val_unit;
+    } else if (op == EPOLL_CTL_MOD && errno == ENOENT) {
+      if (epoll_ctl(Int_val(vep), EPOLL_CTL_ADD, Int_val(vfd), &ev) == 0)
+        return Val_unit;
+    } else if (op == EPOLL_CTL_DEL && (errno == ENOENT || errno == EBADF)) {
+      return Val_unit;
+    }
+    mwreg_sys_fail("epoll_ctl");
+  }
+  return Val_unit;
+#else
+  (void)vep;
+  (void)vop;
+  (void)vfd;
+  (void)vbits;
+  caml_failwith("epoll_ctl: not available on this platform");
+#endif
+}
+
+CAMLprim value mwreg_epoll_wait(value vep, value vtimeout_ms, value varr)
+{
+#ifdef MWREG_HAVE_EPOLL
+  CAMLparam3(vep, vtimeout_ms, varr);
+  int cap = Wosize_val(varr);
+  int n, i;
+  struct epoll_event *evs;
+  if (cap <= 0) CAMLreturn(Val_int(0));
+  evs = malloc(sizeof(struct epoll_event) * cap);
+  if (evs == NULL) caml_failwith("epoll_wait: out of memory");
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(vep), evs, cap, Int_val(vtimeout_ms));
+  caml_acquire_runtime_system();
+  if (n == -1) {
+    int e = errno;
+    free(evs);
+    if (e == EINTR) CAMLreturn(Val_int(0));
+    errno = e;
+    mwreg_sys_fail("epoll_wait");
+  }
+  for (i = 0; i < n; i++) {
+    int bits = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLRDHUP)) bits |= MWREG_RD;
+    if (evs[i].events & EPOLLOUT) bits |= MWREG_WR;
+    if (evs[i].events & (EPOLLERR | EPOLLHUP)) bits |= MWREG_ERR;
+    Store_field(varr, i, Val_int((evs[i].data.fd << 3) | bits));
+  }
+  free(evs);
+  CAMLreturn(Val_int(n));
+#else
+  (void)vep;
+  (void)vtimeout_ms;
+  (void)varr;
+  caml_failwith("epoll_wait: not available on this platform");
+#endif
+}
+
+CAMLprim value mwreg_poll(value varr, value vn, value vtimeout_ms)
+{
+  CAMLparam3(varr, vn, vtimeout_ms);
+  int n = Int_val(vn);
+  int ready, i;
+  struct pollfd *pfds;
+  if (n <= 0) CAMLreturn(Val_int(0));
+  if (n > (int)Wosize_val(varr)) caml_invalid_argument("mwreg_poll: n");
+  pfds = malloc(sizeof(struct pollfd) * n);
+  if (pfds == NULL) caml_failwith("poll: out of memory");
+  for (i = 0; i < n; i++) {
+    long e = Long_val(Field(varr, i));
+    pfds[i].fd = (int)(e >> 3);
+    pfds[i].events = 0;
+    if (e & MWREG_RD) pfds[i].events |= POLLIN;
+    if (e & MWREG_WR) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+  caml_release_runtime_system();
+  ready = poll(pfds, n, Int_val(vtimeout_ms));
+  caml_acquire_runtime_system();
+  if (ready == -1) {
+    int e = errno;
+    free(pfds);
+    if (e == EINTR) CAMLreturn(Val_int(0));
+    errno = e;
+    mwreg_sys_fail("poll");
+  }
+  for (i = 0; i < n; i++) {
+    int bits = 0;
+    if (pfds[i].revents & POLLIN) bits |= MWREG_RD;
+    if (pfds[i].revents & POLLOUT) bits |= MWREG_WR;
+    /* POLLNVAL: the fd died between listing and polling (the old
+       select path special-cased this as EBADF).  Flag it as an error
+       so the owner's read path notices and drops the connection. */
+    if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) bits |= MWREG_ERR;
+    Store_field(varr, i, Val_int(((long)pfds[i].fd << 3) | bits));
+  }
+  free(pfds);
+  CAMLreturn(Val_int(ready));
+}

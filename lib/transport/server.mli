@@ -1,17 +1,23 @@
 (** A register server daemon: one {!Registers.Replica} behind a TCP
-    listen socket.
+    listen socket, served by a non-blocking reactor.
 
     The daemon hosts exactly the replica state machine the simulator
     uses — [current] value plus the full-information value vector with
     [updated] sets — and answers Query/Update requests per the paper's
-    server algorithm (Algorithm 2).  One handler thread per client
-    connection; replica access is serialized, matching the model's
-    one-message-at-a-time servers.  Requests decoded from one socket
-    read are handled as a batch under a single lock acquisition and
-    answered in a single write — the fast path for multiplexed client
-    connections carrying many clients' traffic.  Handler threads of
-    closed connections are reaped continuously, so a long-lived daemon
-    does not leak a thread per connect/disconnect cycle.
+    server algorithm (Algorithm 2).  Instead of a thread per connection,
+    an event loop (epoll where available, poll elsewhere) drives
+    non-blocking sockets: each connection's bytes feed an incremental
+    {!Codec.Stream}, every complete frame decoded by one wakeup is
+    handled as a batch under a single replica-lock acquisition, and the
+    batch's replies coalesce into one write from a per-connection
+    out-queue.  A peer that stops reading costs a write-interest
+    registration (backpressure), never a blocked thread — which is what
+    lets one daemon hold 1000+ concurrent connections.
+
+    With [shards > 1] the connections are dealt round-robin across that
+    many event loops, one domain each; the replica itself stays behind
+    one lock (the model's one-message-at-a-time server), so shards scale
+    the socket work, not the state machine.
 
     Servers never talk to each other (the model's communication
     restriction is structural here: nothing ever dials out). *)
@@ -22,6 +28,7 @@ val start :
   ?host:string ->
   ?port:int ->
   ?id:int ->
+  ?shards:int ->
   ?faults:Faults.t ->
   replica:Registers.Replica.t ->
   unit ->
@@ -29,10 +36,11 @@ val start :
 (** Bind [host:port] (default [127.0.0.1:0] — port 0 picks an ephemeral
     port, see {!port}) and serve until {!stop}.  [id] is the server's
     index, echoed in every reply so clients can attribute messages.
+    [shards] (default 1) is the number of reactor event loops.
     [faults] subjects every reply frame to the plan's [From_server]
-    rules: drops and blackouts lose it, delays deliver it late from a
-    delayer thread, duplicates send it twice, truncation tears the
-    frame mid-byte and severs the connection. *)
+    rules: drops and blackouts lose it, delays park it on the owning
+    shard's timer list and deliver it late, duplicates send it twice,
+    truncation tears the frame mid-byte and severs the connection. *)
 
 val port : t -> int
 (** The actual bound port. *)
@@ -40,13 +48,14 @@ val port : t -> int
 val replica : t -> Registers.Replica.t
 (** The hosted state machine (inspection/tests). *)
 
-val handler_count : t -> int
-(** Live connection-handler threads (announced-finished ones excluded).
-    Observability for tests: must return to 0 once every client has
-    disconnected and the reaper has run. *)
+val connection_count : t -> int
+(** Live connections across all shards.  Observability for tests: must
+    return to 0 once every client has disconnected — the reactor closes
+    a connection the moment its socket reports EOF, with no reaper tick
+    in between. *)
 
 val stop : t -> unit
-(** Crash the server: stop accepting, sever every client connection,
-    join all threads.  Clients observe EOF/ECONNREFUSED — exactly the
-    crash failures the [t]-tolerant quorum logic must survive.
+(** Crash the server: stop accepting, close every client connection,
+    join the shard loops.  Clients observe EOF/ECONNREFUSED — exactly
+    the crash failures the [t]-tolerant quorum logic must survive.
     Idempotent. *)

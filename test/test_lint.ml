@@ -2,8 +2,9 @@
    inline fixture per rule, driven through the same engine entry point
    the CLI uses.  The [~path] given to a fixture participates in the
    path-scoped allowlists exactly as a real file's path would, which is
-   how the negatives for MONOTONIC-TIME / RAW-IO / the server's
-   BLOCKING-UNDER-LOCK exemption are expressed. *)
+   how the negatives for MONOTONIC-TIME / RAW-IO are expressed — and
+   how the BLOCKING-UNDER-LOCK positives pin down that the old server
+   exemption really is gone. *)
 
 open Analysis
 
@@ -103,6 +104,21 @@ let test_blocking_positive () =
   fires "sleep between lock and unlock" ~path:"lib/foo.ml"
     "let m = Mutex.create ()\n\
      let nap () = Mutex.lock m; Unix.sleepf 0.1; Mutex.unlock m\n"
+    Rules.blocking_under_lock;
+  (* The thread-per-connection server wrote replies under a
+     per-connection write lock and carried the rule's only exemptions.
+     The reactor's flush path is lock-free, the exemptions are gone,
+     and the rule must fire even in server.ml now. *)
+  fires "old server exemption removed" ~path:"lib/transport/server.ml"
+    "let handle_conn wlock fd b =\n\
+    \  Mutex.protect wlock (fun () -> Netio.write_all fd b 0 4)\n"
+    Rules.blocking_under_lock;
+  (* A reactor shard parking in its poller while holding a lock would
+     stall every connection the shard owns: the readiness waits are
+     classified as blocking. *)
+  fires "poller wait under a lock" ~path:"lib/transport/foo.ml"
+    "let m = Mutex.create ()\n\
+     let bad p f = Mutex.protect m (fun () -> Netio.Poller.wait p f)\n"
     Rules.blocking_under_lock
 
 let test_blocking_negative () =
@@ -110,11 +126,13 @@ let test_blocking_negative () =
     "let m = Mutex.create ()\n\
      let nap () = Mutex.lock m; Mutex.unlock m; Unix.sleepf 0.1\n"
     Rules.blocking_under_lock;
-  (* The server's reply path writes under its per-connection write lock
-     by design: (file, function, callee) allowlisted. *)
-  quiet "server batch-drain exemption" ~path:"lib/transport/server.ml"
-    "let handle_conn wlock fd b =\n\
-    \  Mutex.protect wlock (fun () -> Netio.write_all fd b 0 4)\n"
+  (* Netio's non-blocking variants return EAGAIN instead of parking the
+     thread: flushing an out-queue under a lock is not a blocking call
+     (the reactor does not do even this, but the classification is the
+     rule's reactor-aware core). *)
+  quiet "non-blocking write under a lock" ~path:"lib/foo.ml"
+    "let m = Mutex.create ()\n\
+     let f fd b = Mutex.protect m (fun () -> Netio.write_nb fd b 0 4)\n"
     Rules.blocking_under_lock
 
 (* ------------------------------------------------------------------ *)

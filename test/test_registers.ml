@@ -74,6 +74,69 @@ let test_replica_initial_state () =
     (Tstamp.equal (Replica.current rep).Wire.tag Tstamp.initial);
   check int "initial vector" 1 (Replica.vector_size rep)
 
+let test_replica_vector_pruned () =
+  (* The valuevector is a recency window: past [max_vector] entries the
+     smallest tags are evicted, and [current] (the largest) survives. *)
+  let rep = Replica.create () in
+  let n = Replica.max_vector + 10 in
+  for ts = 1 to n do
+    ignore (Replica.handle rep ~client:0 (Wire.Update (value ts 0 (100 + ts))))
+  done;
+  check int "window size" Replica.max_vector (Replica.vector_size rep);
+  check bool "current retained" true
+    (Tstamp.equal (Replica.current rep).Wire.tag (tag n 0));
+  check (Alcotest.list int) "oldest evicted" []
+    (Replica.updated_set rep (value 1 0 101));
+  (* A pruned value a client still tracks is resurrected for the reply
+     that echoes it — with the client enrolled — before the window is
+     re-enforced (the certificate regeneration the bound relies on). *)
+  match Replica.handle rep ~client:7 (Wire.Query [ value 1 0 101 ]) with
+  | Wire.Read_ack { vector; _ } ->
+    let _, updated =
+      List.find (fun (v, _) -> Tstamp.equal v.Wire.tag (tag 1 0)) vector
+    in
+    check bool "echoed value certified in reply" true (List.mem 7 updated);
+    check bool "window re-enforced after reply" true
+      (Replica.vector_size rep <= Replica.max_vector)
+  | Wire.Write_ack _ -> Alcotest.fail "expected read ack"
+
+let test_replica_wire_updated_truncated () =
+  (* READACKs carry at most [max_wire_updated] ids per entry, and the
+     querying client is always among them; the replica's own set stays
+     complete (recovery and the lemma tests need it). *)
+  let rep = Replica.create () in
+  let n = Replica.max_wire_updated + 20 in
+  for c = 1 to n do
+    ignore (Replica.handle rep ~client:c (Wire.Update (value 1 0 101)))
+  done;
+  let querier = n + 5 in
+  (match Replica.handle rep ~client:querier (Wire.Query []) with
+  | Wire.Read_ack { vector; _ } ->
+    let _, updated =
+      List.find (fun (v, _) -> Tstamp.equal v.Wire.tag (tag 1 0)) vector
+    in
+    check bool "wire set capped" true
+      (List.length updated <= Replica.max_wire_updated);
+    check bool "querier included" true (List.mem querier updated)
+  | Wire.Write_ack _ -> Alcotest.fail "expected read ack");
+  check int "replica set complete" (n + 1)
+    (List.length (Replica.updated_set rep (value 1 0 101)))
+
+let test_bound_queue () =
+  let vs = List.init (Client_core.max_queue + 9) (fun i -> value (i + 1) 0 i) in
+  let q = Client_core.bound_queue vs in
+  check int "queue capped" Client_core.max_queue (List.length q);
+  (match q with
+  | hd :: _ ->
+    check bool "largest first" true
+      (Tstamp.equal hd.Wire.tag (tag (Client_core.max_queue + 9) 0))
+  | [] -> Alcotest.fail "empty queue");
+  check bool "descending" true
+    (List.for_all2
+       (fun (a : Wire.value) b -> Wire.compare_value a b > 0)
+       (List.filteri (fun i _ -> i < List.length q - 1) q)
+       (List.tl q))
+
 (* ------------------------------------------------------------------ *)
 (* The admissible predicate                                             *)
 (* ------------------------------------------------------------------ *)
@@ -297,6 +360,9 @@ let () =
           tc "query folds queue" test_replica_query_folds_queue;
           tc "enrolls reader in current" test_replica_enrolls_reader_in_current;
           tc "initial state" test_replica_initial_state;
+          tc "vector pruned to window" test_replica_vector_pruned;
+          tc "wire updated sets truncated" test_replica_wire_updated_truncated;
+          tc "valQueue bounded" test_bound_queue;
         ] );
       ( "admissible",
         [

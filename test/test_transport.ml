@@ -313,9 +313,10 @@ let test_server_survives_garbage () =
   Server.stop server
 
 let test_server_reaps_handlers () =
-  (* Connect/disconnect churn must not leak a handler thread per
-     connection: after every client is gone the reaper brings the live
-     handler count back to zero. *)
+  (* Connect/disconnect churn must not leak connection state: the
+     reactor closes a connection the moment its socket reports EOF, so
+     once every client is gone the live connection count returns to
+     zero (no reaper tick to wait out — only the event-loop wakeup). *)
   let replica = Replica.create () in
   let server = Server.start ~id:0 ~replica () in
   let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server) in
@@ -327,13 +328,238 @@ let test_server_reaps_handlers () =
     check bool "op served" true !ok;
     Endpoint.close ep
   done;
-  (* The reaper runs on the accept loop's 0.2s select tick. *)
   let deadline = Clock.now () +. 5.0 in
-  while Server.handler_count server > 0 && Clock.now () < deadline do
+  while Server.connection_count server > 0 && Clock.now () < deadline do
     Thread.delay 0.05
   done;
-  check int "all handler threads reaped" 0 (Server.handler_count server);
+  check int "all connections closed" 0 (Server.connection_count server);
   Server.stop server
+
+(* ------------------------------------------------------------------ *)
+(* The reactor data path                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw-socket helpers for talking straight wire to a server, bypassing
+   the client planes: the reactor's framing and fairness claims are
+   about byte streams, so the tests speak bytes. *)
+let raw_connect addr =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  fd
+
+let raw_send fd s =
+  let b = Bytes.of_string s in
+  Netio.write_all fd b 0 (Bytes.length b)
+
+let query_frame ~rt ~client =
+  Codec.encode (Codec.Request { rt; client; req = Wire.Query [] })
+
+(* Read complete frames off [fd] into [st] until [want] have arrived. *)
+let raw_read_frames fd st buf want =
+  let got = ref [] and n_got = ref 0 in
+  while !n_got < want do
+    let n = Netio.read fd buf 0 (Bytes.length buf) in
+    if n = 0 then failwith "server closed a healthy connection";
+    Codec.Stream.feed st buf n;
+    let rec drain () =
+      match Codec.Stream.next st with
+      | Some f ->
+        got := f :: !got;
+        incr n_got;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  List.rev !got
+
+let test_reactor_interleaved_partial_frames () =
+  (* Many connections, each receiving its frames one byte at a time,
+     interleaved round-robin: at every instant the reactor holds
+     [nconns] partial frames in per-connection streams.  Every frame
+     must still be answered, in order, to the connection that sent it. *)
+  let replica = Replica.create () in
+  let server = Server.start ~id:0 ~replica () in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server) in
+  let nconns = 8 and per = 5 in
+  let conns = Array.init nconns (fun _ -> raw_connect addr) in
+  let wires =
+    Array.init nconns (fun i ->
+        String.concat ""
+          (List.init per (fun rt -> query_frame ~rt ~client:(100 + i))))
+  in
+  let maxlen = Array.fold_left (fun m w -> max m (String.length w)) 0 wires in
+  let byte = Bytes.create 1 in
+  for pos = 0 to maxlen - 1 do
+    Array.iteri
+      (fun i fd ->
+        if pos < String.length wires.(i) then begin
+          Bytes.set byte 0 wires.(i).[pos];
+          Netio.write_all fd byte 0 1
+        end)
+      conns
+  done;
+  let buf = Bytes.create 8192 in
+  Array.iteri
+    (fun i fd ->
+      let frames = raw_read_frames fd (Codec.Stream.create ()) buf per in
+      List.iteri
+        (fun k f ->
+          match[@warning "-4"] f with
+          | Codec.Reply { rt; client; server = sid; rep = Wire.Read_ack _ } ->
+            check int "replies in request order" k rt;
+            check int "client echoed" (100 + i) client;
+            check int "server id echoed" 0 sid
+          | _ -> Alcotest.fail "expected a read ack")
+        frames)
+    conns;
+  Array.iter Unix.close conns;
+  Server.stop server
+
+let test_reactor_backpressure_slow_reader () =
+  (* A peer that stops reading must cost the reactor a write-interest
+     registration, not a blocked thread: while client A sits on
+     thousands of unread replies (tiny SO_RCVBUF, nothing drained), a
+     concurrent client B's operations keep completing.  Afterwards A
+     reads everything it was owed, in order — buffered server-side under
+     backpressure, not dropped. *)
+  let replica = Replica.create () in
+  let server = Server.start ~id:0 ~replica () in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server) in
+  (* Fatten the replies first: every distinct written tag adds a vector
+     entry to each subsequent Read_ack, so the pipelined queries below
+     overflow any kernel buffer pair and force EAGAIN on the server. *)
+  let seed_ep = Endpoint.create ~client:50 ~servers:[| addr |] ~quorum:1 () in
+  for w = 1 to 100 do
+    let ok = ref false in
+    Endpoint.exec seed_ep (Wire.Update (value w (w mod 8) (1000 + w)))
+      (fun _ -> ok := true);
+    check bool "seed write served" true !ok
+  done;
+  Endpoint.close seed_ep;
+  let a = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt_int a Unix.SO_RCVBUF 4096;
+  Unix.connect a addr;
+  let nq = 2000 in
+  let reqs = Buffer.create (nq * 24) in
+  for rt = 0 to nq - 1 do
+    Buffer.add_string reqs (query_frame ~rt ~client:60)
+  done;
+  raw_send a (Buffer.contents reqs);
+  (* A is now owed ~nq fat replies it is not reading.  B must not care. *)
+  let b_ep = Endpoint.create ~client:61 ~servers:[| addr |] ~quorum:1 () in
+  let t0 = Clock.now () in
+  for _ = 1 to 20 do
+    let ok = ref false in
+    Endpoint.exec b_ep (Wire.Query []) (fun _ -> ok := true);
+    check bool "B's op completed" true !ok
+  done;
+  let b_elapsed = Clock.now () -. t0 in
+  Endpoint.close b_ep;
+  check bool "B not stalled behind the slow reader" true (b_elapsed < 5.0);
+  (* Now drain A: every reply arrives, in request order. *)
+  let st = Codec.Stream.create () in
+  let buf = Bytes.create 65536 in
+  let got = ref 0 in
+  while !got < nq do
+    let n = Netio.read a buf 0 (Bytes.length buf) in
+    if n = 0 then Alcotest.fail "server severed the slow reader";
+    Codec.Stream.feed st buf n;
+    let rec drain () =
+      match Codec.Stream.next st with
+      | Some (Codec.Reply { rt; client = _; server = _; rep = _ }) ->
+        check int "A's replies in order" !got rt;
+        incr got;
+        drain ()
+      | Some (Codec.Request _) ->
+        Alcotest.fail "server sent a request"
+      | None -> ()
+    in
+    drain ()
+  done;
+  Unix.close a;
+  Server.stop server
+
+let test_reactor_connection_churn () =
+  (* 256 concurrent short-lived connections — the regime that used to
+     cost a thread spawn + join each.  Every connection gets its reply,
+     and the connection count returns to zero afterwards. *)
+  let replica = Replica.create () in
+  let server = Server.start ~id:0 ~replica () in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server) in
+  let n = 256 in
+  let failures = Array.make n None in
+  let body i () =
+    match
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          raw_send fd (query_frame ~rt:0 ~client:(300 + i));
+          let buf = Bytes.create 8192 in
+          match[@warning "-4"]
+            raw_read_frames fd (Codec.Stream.create ()) buf 1
+          with
+          | [ Codec.Reply { rt = 0; client; server = 0; rep = _ } ]
+            when client = 300 + i ->
+            ()
+          | _ -> failwith "unexpected reply")
+    with
+    | () -> ()
+    | exception Unix.Unix_error (e, fn, _) ->
+      failures.(i) <- Some (fn ^ ": " ^ Unix.error_message e)
+    | exception Failure msg -> failures.(i) <- Some msg
+    | exception Codec.Decode_error msg -> failures.(i) <- Some msg
+  in
+  let threads = List.init n (fun i -> Thread.create (body i) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i f ->
+      match f with
+      | Some msg -> Alcotest.failf "connection %d: %s" i msg
+      | None -> ())
+    failures;
+  let deadline = Clock.now () +. 5.0 in
+  while Server.connection_count server > 0 && Clock.now () < deadline do
+    Thread.delay 0.02
+  done;
+  check int "every connection closed" 0 (Server.connection_count server);
+  Server.stop server
+
+let test_reactor_sharded_live () =
+  (* shards > 1: connections dealt round-robin across per-domain event
+     loops, kill + recover-restart mid-run, history still atomic. *)
+  let cluster = Cluster.start ~shards:2 ~s:3 ~tol:1 () in
+  Fun.protect
+    ~finally:(fun () -> Cluster.shutdown cluster)
+    (fun () ->
+      let res =
+        Session.run ~kill_at:[ (0.05, 2) ]
+          ~restart_at:[ (0.3, 2, `Recover) ]
+          ~rt_timeout:0.5 ~register:Registry.abd_mwmr ~cluster
+          {
+            Session.default_spec with
+            writers = 2;
+            readers = 2;
+            writes_per_writer = 8;
+            reads_per_reader = 12;
+          }
+      in
+      check bool "history atomic under sharded reactor" true
+        (Checker.Atomicity.is_atomic res.Session.history);
+      check int "no client starved" 0 res.Session.unavailable)
+
+let test_reactor_sharded_restart mode () =
+  (* The deterministic crash-stop script against sharded reactors: the
+     recover/fresh dichotomy must be exactly the single-shard one. *)
+  let o = Chaos.restart_scenario ~server_shards:2 ~mode () in
+  match mode with
+  | `Recover ->
+    check bool "recovered sharded restart atomic" true o.Chaos.atomic
+  | `Fresh ->
+    check bool "fresh sharded restart loses the write" false o.Chaos.atomic;
+    check bool "checker produced a witness" true (o.Chaos.witness <> None)
 
 (* ------------------------------------------------------------------ *)
 (* Mux: the shared-connection client plane                              *)
@@ -714,6 +940,21 @@ let () =
             test_server_survives_garbage;
           Alcotest.test_case "reaps finished handlers" `Quick
             test_server_reaps_handlers;
+        ] );
+      ( "reactor",
+        [
+          Alcotest.test_case "interleaved byte-at-a-time frames" `Quick
+            test_reactor_interleaved_partial_frames;
+          Alcotest.test_case "backpressure on a slow reader" `Quick
+            test_reactor_backpressure_slow_reader;
+          Alcotest.test_case "256 concurrent short-lived connections" `Quick
+            test_reactor_connection_churn;
+          Alcotest.test_case "sharded: live run with kill/restart" `Quick
+            test_reactor_sharded_live;
+          Alcotest.test_case "sharded: restart recover" `Quick
+            (test_reactor_sharded_restart `Recover);
+          Alcotest.test_case "sharded: restart fresh" `Quick
+            (test_reactor_sharded_restart `Fresh);
         ] );
       ( "mux",
         [
