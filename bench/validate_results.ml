@@ -408,12 +408,6 @@ let check_scaling ~require_knee path = function
         threaded_c16_floor
   | Null | Bool _ | Num _ | Str _ | Obj _ -> err path "expected an array"
 
-(* The chaos section carries semantics, not just shape: the soak's
-   verdicts must match the theory (atomic wherever the design point is
-   possible) and the restart-fidelity script must show both halves of
-   the crash-stop argument — recover atomic, fresh caught with a
-   witness. *)
-
 let want_bool_value obj path key =
   match field obj path key with
   | Some (Bool b) -> Some b
@@ -423,6 +417,196 @@ let want_bool_value obj path key =
   | None ->
     err path (Printf.sprintf "missing key %S" key);
     None
+
+(* The kv_scaling section: the sharded keyspace sweep.  Shape always;
+   verdict semantics always (a non-atomic sampled key means the per-key
+   protocol broke under the KV plumbing — never acceptable); axis
+   completeness and the scale-out knee only under [--require-knee],
+   since the CI smoke regenerates a reduced sweep. *)
+
+let kv_grid_groups = [ 1.0; 2.0; 4.0 ]
+let kv_grid_clients = [ 64.0; 256.0 ]
+let kv_grid_keys = [ 1_000.0; 100_000.0 ]
+let kv_grid_dists = [ "zipfian"; "uniform" ]
+
+let check_kv_scaling ~require_knee path = function
+  | List entries ->
+    if entries = [] then err path "empty";
+    (* (plane, regime, groups, clients, keys, dist, mix, ops/s) per
+       well-formed row, for the cross-row checks below. *)
+    let rows = ref [] in
+    List.iteri
+      (fun i e ->
+        let p = Printf.sprintf "%s[%d]" path i in
+        let plane =
+          match want_string e p "plane" with
+          | Some ("mux" | "sockets") as ok -> ok
+          | Some other ->
+            err (p ^ ".plane") (Printf.sprintf "unknown plane %S" other);
+            None
+          | None -> None
+        in
+        let regime =
+          match want_string e p "regime" with
+          | Some ("closed" | "scaleout") as ok -> ok
+          | Some other ->
+            err (p ^ ".regime") (Printf.sprintf "unknown regime %S" other);
+            None
+          | None -> None
+        in
+        non_negative e p "think_s";
+        let groups = want_number e p "groups" in
+        (match groups with
+        | Some g when g < 1.0 -> err (p ^ ".groups") "must be >= 1"
+        | Some _ | None -> ());
+        let clients = want_number e p "clients" in
+        (match clients with
+        | Some c when c < 1.0 -> err (p ^ ".clients") "must be >= 1"
+        | Some _ | None -> ());
+        let keys = want_number e p "keys" in
+        (match keys with
+        | Some k when k < 1.0 -> err (p ^ ".keys") "must be >= 1"
+        | Some _ | None -> ());
+        let dist =
+          match want_string e p "dist" with
+          | Some ("zipfian" | "uniform") as ok -> ok
+          | Some other ->
+            err (p ^ ".dist") (Printf.sprintf "unknown dist %S" other);
+            None
+          | None -> None
+        in
+        let mix =
+          match want_string e p "mix" with
+          | Some ("A" | "B" | "C") as ok -> ok
+          | Some other ->
+            err (p ^ ".mix") (Printf.sprintf "unknown mix %S" other);
+            None
+          | None -> None
+        in
+        let ops = want_number e p "ops" in
+        (match ops with
+        | Some o when o <= 0.0 -> err (p ^ ".ops") "must be > 0"
+        | Some _ | None -> ());
+        positive e p "duration_s";
+        let tput = want_number e p "throughput_ops_per_s" in
+        (match tput with
+        | Some t when t <= 0.0 ->
+          err (p ^ ".throughput_ops_per_s") "must be > 0"
+        | Some _ | None -> ());
+        check_ms_obj e p "latency_ms";
+        check_ms_obj e p "read_ms";
+        check_ms_obj e p "write_ms";
+        (match want_number e p "sampled_keys" with
+        | Some k when k < 1.0 -> err (p ^ ".sampled_keys") "must be >= 1"
+        | Some _ | None -> ());
+        (match want_bool_value e p "atomic" with
+        | Some false ->
+          err p "a sampled key failed the atomicity checker: the per-key \
+                 protocol broke under the KV plumbing"
+        | Some true | None -> ());
+        non_negative e p "starved";
+        non_negative e p "late";
+        non_negative e p "retries";
+        non_negative e p "dropped_replies";
+        positive e p "keys_touched";
+        (match field e p "group_ops" with
+        | Some (List per_group) ->
+          List.iteri
+            (fun g v ->
+              match v with
+              | Num n when n >= 0.0 -> ()
+              | Num _ -> err (Printf.sprintf "%s.group_ops[%d]" p g) "must be >= 0"
+              | Null | Bool _ | Str _ | List _ | Obj _ ->
+                err (Printf.sprintf "%s.group_ops[%d]" p g) "expected a number")
+            per_group;
+          (match groups with
+          | Some g when List.length per_group <> int_of_float g ->
+            err (p ^ ".group_ops") "must have one entry per shard group"
+          | Some _ | None -> ());
+          let attempted =
+            List.fold_left
+              (fun acc v -> match[@warning "-4"] v with Num n -> acc +. n | _ -> acc)
+              0.0 per_group
+          in
+          (match ops with
+          | Some o when attempted < o ->
+            err (p ^ ".group_ops")
+              "attempted operations across groups below completed ops"
+          | Some _ | None -> ())
+        | Some (Null | Bool _ | Num _ | Str _ | Obj _) ->
+          err (p ^ ".group_ops") "expected an array"
+        | None -> err p "missing key \"group_ops\"");
+        match[@warning "-4"]
+          (plane, regime, groups, clients, keys, dist, mix, tput)
+        with
+        | Some pl, Some re, Some g, Some c, Some k, Some d, Some m, Some t ->
+          rows := (pl, re, g, c, k, d, m, t) :: !rows
+        | _ -> ())
+      entries;
+    let rows = !rows in
+    if require_knee then begin
+      (* Axis completeness: the committed full-budget document must
+         carry the whole closed-loop mix-A grid on both planes. *)
+      List.iter
+        (fun pl ->
+          List.iter
+            (fun g ->
+              List.iter
+                (fun c ->
+                  List.iter
+                    (fun k ->
+                      List.iter
+                        (fun d ->
+                          let present =
+                            List.exists
+                              (fun (pl', re, g', c', k', d', m, _) ->
+                                pl' = pl && re = "closed" && g' = g && c' = c
+                                && k' = k && d' = d && m = "A")
+                              rows
+                          in
+                          if not present then
+                            err path
+                              (Printf.sprintf
+                                 "missing closed mix-A row: plane=%s groups=%.0f \
+                                  clients=%.0f keys=%.0f dist=%s"
+                                 pl g c k d))
+                        kv_grid_dists)
+                    kv_grid_keys)
+                kv_grid_clients)
+            kv_grid_groups)
+        [ "mux"; "sockets" ];
+      (* The knee itself: in the scale-out regime (constant per-shard
+         offered load) the 4-group aggregate must beat the 1-group
+         baseline on every plane — capacity composes across shards. *)
+      List.iter
+        (fun pl ->
+          let best g =
+            List.fold_left
+              (fun acc (pl', re, g', _, _, _, _, t) ->
+                if pl' = pl && re = "scaleout" && g' = g then Float.max acc t
+                else acc)
+              0.0 rows
+          in
+          let t1 = best 1.0 and t4 = best 4.0 in
+          if t1 = 0.0 || t4 = 0.0 then
+            err path
+              (Printf.sprintf
+                 "%s: scale-out rows at 1 and 4 groups are required" pl)
+          else if t4 <= t1 then
+            err path
+              (Printf.sprintf
+                 "%s: 4-group scale-out throughput %.1f ops/s does not exceed \
+                  the 1-group baseline %.1f — shard capacity did not compose"
+                 pl t4 t1))
+        [ "mux"; "sockets" ]
+    end
+  | Null | Bool _ | Num _ | Str _ | Obj _ -> err path "expected an array"
+
+(* The chaos section carries semantics, not just shape: the soak's
+   verdicts must match the theory (atomic wherever the design point is
+   possible) and the restart-fidelity script must show both halves of
+   the crash-stop argument — recover atomic, fresh caught with a
+   witness. *)
 
 let check_chaos path = function
   | Obj _ as chaos ->
@@ -536,11 +720,12 @@ let () =
   section "micro_ns_per_run" check_micro;
   section "live" check_live;
   section "live_scaling" (check_scaling ~require_knee:!require_knee);
+  section "kv_scaling" (check_kv_scaling ~require_knee:!require_knee);
   section "chaos" check_chaos;
   if !optional = 0 then
     err "$"
       "no result section present (wall_clock / micro_ns_per_run / live / \
-       live_scaling / chaos)";
+       live_scaling / kv_scaling / chaos)";
   match List.rev !errors with
   | [] ->
     Printf.printf "%s: schema OK (%d section(s))\n" path !optional;

@@ -660,6 +660,160 @@ let live_cmd =
           $ server_domains)
 
 (* ------------------------------------------------------------------ *)
+(* kv                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kv protocol groups s tol clients keys ops dist theta mix transport seed
+    sample think rt_timeout =
+  let register =
+    match find_protocol protocol with
+    | Some r -> Ok r
+    | None -> Error (Printf.sprintf "unknown protocol %S" protocol)
+  in
+  let dist =
+    match dist with
+    | "zipfian" -> Ok (Ycsb.Zipfian theta)
+    | "uniform" -> Ok Ycsb.Uniform
+    | other -> Error (Printf.sprintf "unknown dist %S (zipfian|uniform)" other)
+  in
+  let mix =
+    match Ycsb.mix_of_string mix with
+    | Some m -> Ok m
+    | None -> Error (Printf.sprintf "unknown mix %S (A|B|C)" mix)
+  in
+  let transport =
+    match transport with
+    | "mux" -> Ok `Mux
+    | "sockets" -> Ok `Sockets
+    | other -> Error (Printf.sprintf "unknown transport %S (mux|sockets)" other)
+  in
+  match (register, dist, mix, transport) with
+  | Error msg, _, _, _ | _, Error msg, _, _ | _, _, Error msg, _
+  | _, _, _, Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+  | Ok register, Ok dist, Ok mix, Ok transport ->
+    let cluster = Kv.Cluster.start ~groups ~s ~tol () in
+    Fun.protect
+      ~finally:(fun () -> Kv.Cluster.shutdown cluster)
+      (fun () ->
+        let res =
+          Kv.Session.run ~transport ~rt_timeout ~register ~cluster
+            {
+              Kv.Session.clients;
+              ops_per_client = ops;
+              keys;
+              dist;
+              mix;
+              seed;
+              sample_keys = sample;
+              think;
+            }
+        in
+        Printf.printf
+          "%s over %d shard group(s) (S=%d t=%d per group), %d clients, \
+           %d keys, %s/%s\n"
+          (Registry.name register) groups s tol clients keys
+          (Ycsb.dist_name dist) (Ycsb.mix_name mix);
+        Printf.printf
+          "  %d ops in %.3fs  (%.0f ops/s, %d distinct keys touched)\n"
+          res.Kv.Session.ops res.Kv.Session.duration
+          res.Kv.Session.throughput res.Kv.Session.keys_touched;
+        let ms name (st : Stats.summary) =
+          Printf.printf "  %-6s p50 %.2fms  p95 %.2fms  p99 %.2fms\n" name
+            (1e3 *. st.Stats.p50) (1e3 *. st.Stats.p95) (1e3 *. st.Stats.p99)
+        in
+        ms "all" res.Kv.Session.all_lat;
+        ms "read" res.Kv.Session.read_lat;
+        ms "write" res.Kv.Session.write_lat;
+        Printf.printf "  per-group ops: [%s]\n"
+          (String.concat "; "
+             (Array.to_list
+                (Array.map string_of_int res.Kv.Session.group_ops)));
+        if res.Kv.Session.starved > 0 || res.Kv.Session.dropped > 0 then
+          Printf.printf "  starved clients %d, dropped replies %d\n"
+            res.Kv.Session.starved res.Kv.Session.dropped;
+        Printf.printf "  sampled-key verdicts:\n";
+        let all_atomic =
+          List.for_all
+            (fun v ->
+              Printf.printf "    %-14s %4d ops  %s\n" v.Kv.Session.vkey
+                v.Kv.Session.vops
+                (if v.Kv.Session.atomic then "atomic" else "NOT ATOMIC");
+              v.Kv.Session.atomic)
+            res.Kv.Session.verdicts
+        in
+        if not all_atomic then exit 2)
+
+let kv_cmd =
+  (* Default to the unconditionally-atomic multi-writer ABD: the KV
+     driver reports r = clients, and a default fast-read protocol would
+     silently sit outside its R < S/t - 2 regime at any realistic client
+     count. *)
+  let protocol =
+    Arg.(value & opt string "w2r2"
+         & info [ "protocol"; "p" ] ~docv:"NAME"
+             ~doc:"Register protocol run per key (registry substring \
+                   match, as in $(b,sim)).")
+  in
+  let groups =
+    Arg.(value & opt int 2 & info [ "groups"; "g" ] ~docv:"G"
+         ~doc:"Shard groups (each its own S-server quorum system).")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients"; "c" ] ~docv:"C"
+         ~doc:"Closed-loop client threads (each both writes and reads).")
+  in
+  let keys =
+    Arg.(value & opt int 1000 & info [ "keys"; "k" ] ~docv:"K"
+         ~doc:"Keyspace size.")
+  in
+  let ops =
+    Arg.(value & opt int 50 & info [ "ops" ] ~docv:"N"
+         ~doc:"Operations per client.")
+  in
+  let dist =
+    Arg.(value & opt string "zipfian" & info [ "dist" ] ~docv:"DIST"
+         ~doc:"Key popularity: $(b,zipfian) (rank 0 hottest) or \
+               $(b,uniform).")
+  in
+  let theta =
+    Arg.(value & opt float Ycsb.default_theta
+         & info [ "theta" ] ~docv:"THETA"
+             ~doc:"Zipfian skew parameter (0 < THETA < 1).")
+  in
+  let mix =
+    Arg.(value & opt string "A" & info [ "mix" ] ~docv:"MIX"
+         ~doc:"YCSB operation mix: $(b,A) 50/50, $(b,B) 95% reads, \
+               $(b,C) read-only.")
+  in
+  let transport =
+    Arg.(value & opt string "mux" & info [ "transport" ] ~docv:"PLANE"
+         ~doc:"Client data plane per shard group: $(b,mux) or \
+               $(b,sockets).")
+  in
+  let sample =
+    Arg.(value & opt int 4 & info [ "sample" ] ~docv:"N"
+         ~doc:"Hottest key ranks whose histories are recorded and \
+               atomicity-checked.")
+  in
+  let think =
+    Arg.(value & opt float 0.0 & info [ "think" ] ~docv:"SEC"
+         ~doc:"Think time between a client's operations.")
+  in
+  let rt_timeout =
+    Arg.(value & opt float 1.0 & info [ "rt-timeout" ] ~docv:"SEC"
+         ~doc:"Per-round-trip timeout before re-broadcasting.")
+  in
+  Cmd.v
+    (Cmd.info "kv"
+       ~doc:"Drive a YCSB-shaped workload against a sharded multi-register \
+             keyspace and atomicity-check the sampled keys.")
+    Term.(const kv $ protocol $ groups $ s_arg $ t_arg $ clients $ keys
+          $ ops $ dist $ theta $ mix $ transport $ seed_arg $ sample $ think
+          $ rt_timeout)
+
+(* ------------------------------------------------------------------ *)
 (* chaos                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -806,4 +960,4 @@ let () =
        (Cmd.group info
           [ sim_cmd; threshold_cmd; impossibility_cmd; sieve_cmd; table1_cmd;
             record_cmd; check_cmd; exhaustive_cmd; hunt_cmd; serve_cmd;
-            live_cmd; chaos_cmd ]))
+            live_cmd; kv_cmd; chaos_cmd ]))

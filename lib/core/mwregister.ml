@@ -13,7 +13,9 @@
     - {!Adversary}, {!Threshold}, {!Stats}: workloads and experiments;
     - {!Pool}: the work-sharing domain pool for parallel sweeps;
     - {!Live} namespace: the TCP transport — the same algorithms over
-      real sockets.
+      real sockets;
+    - {!Kv} namespace: the sharded multi-register keyspace over the
+      live transport, with {!Ycsb} supplying its workload shapes.
 
     The convenience entry point {!run_and_check} wires the common loop:
     build an environment, run a workload against a protocol, and return
@@ -80,12 +82,21 @@ module Live = struct
   module Chaos = Transport.Chaos
 end
 
+module Kv = struct
+  module Placement = Kv.Placement
+  module Keyspace = Registers.Keyspace
+  module Cluster = Kv.Kv_cluster
+  module Router = Kv.Router
+  module Session = Kv.Kv_session
+end
+
 module Adversary = Workload.Adversary
 module Threshold = Workload.Threshold
 module Stats = Workload.Stats
 module Generator = Workload.Generator
 module Exhaustive = Workload.Exhaustive
 module Hunter = Workload.Hunter
+module Ycsb = Workload.Ycsb
 
 let version = "1.0.0"
 

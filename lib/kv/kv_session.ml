@@ -1,0 +1,276 @@
+open Histories
+open Registers
+open Simulation
+open Transport
+open Workload
+
+(* The YCSB-shaped closed-loop driver over a sharded keyspace: one OS
+   thread per client, each drawing keys and operation kinds from its own
+   seeded generator, running the chosen registry protocol per key
+   through the placement router.  Latencies are recorded for every
+   operation; full operation histories only for a small sampled key set,
+   so the checker can pass per-key atomicity verdicts without the driver
+   holding millions of operations in memory. *)
+
+type spec = {
+  clients : int;
+  ops_per_client : int;
+  keys : int;
+  dist : Ycsb.dist;
+  mix : Ycsb.mix;
+  seed : int;
+  sample_keys : int; (* record + check the first [sample_keys] ranks *)
+  think : float;
+}
+
+let default_spec =
+  {
+    clients = 4;
+    ops_per_client = 50;
+    keys = 100;
+    dist = Ycsb.Zipfian Ycsb.default_theta;
+    mix = Ycsb.A;
+    seed = 42;
+    sample_keys = 4;
+    think = 0.0;
+  }
+
+type key_verdict = {
+  vkey : string;
+  vops : int; (* operations recorded against this key *)
+  atomic : bool;
+  witness : Checker.Witness.t option;
+}
+
+type result = {
+  duration : float;
+  ops : int; (* completed operations across all clients *)
+  throughput : float; (* completed ops per second *)
+  all_lat : Stats.summary;
+  read_lat : Stats.summary;
+  write_lat : Stats.summary; (* latencies in seconds *)
+  verdicts : key_verdict list;
+  starved : int; (* clients aborted by Unavailable *)
+  late : int;
+  retries : int;
+  dropped : int;
+  group_ops : int array; (* operations routed to each shard group *)
+  keys_touched : int;
+}
+
+(* One sampled operation: same shape as the session runner's private
+   logs — created at invocation (so an op pending at the end of the run
+   stays visible to the checker as pending), completed in the
+   continuation. *)
+type sop = {
+  s_kind : Op.kind;
+  s_reader : bool;
+  s_inv : float;
+  mutable s_resp : float option;
+  mutable s_result : int option;
+}
+
+let history_of_key records =
+  let ops =
+    List.map
+      (fun (client, s) ->
+        {
+          Op.id = 0;
+          proc = (if s.s_reader then Op.Reader client else Op.Writer client);
+          kind = s.s_kind;
+          inv = s.s_inv;
+          resp = s.s_resp;
+          result = s.s_result;
+        })
+      records
+  in
+  let ops =
+    List.sort
+      (fun (a : Op.t) b -> compare (a.Op.inv, a.Op.proc) (b.Op.inv, b.Op.proc))
+      ops
+  in
+  History.of_ops (List.mapi (fun id (o : Op.t) -> { o with Op.id }) ops)
+
+let run ?(transport = `Mux) ?rt_timeout ?max_rt_retries
+    ?(register = Registry.abd_mwmr) ~cluster spec =
+  if spec.clients < 1 then invalid_arg "Kv_session.run: clients must be >= 1";
+  if spec.keys < 1 then invalid_arg "Kv_session.run: keys must be >= 1";
+  (match Registry.max_writers register with
+  | Some m when spec.clients > m && spec.mix <> Ycsb.C ->
+    invalid_arg
+      (Printf.sprintf "Kv_session.run: %s accepts at most %d writer(s)"
+         (Registry.name register) m)
+  | _ -> ());
+  let algo = Registry.client_algo register in
+  let router =
+    Router.create ~transport ?rt_timeout ?max_rt_retries
+      ~clients:spec.clients cluster
+  in
+  let ycsb = Ycsb.create ~dist:spec.dist ~keys:spec.keys in
+  let nsample = min spec.sample_keys spec.keys in
+  let sampled = Hashtbl.create (max 1 nsample) in
+  for rank = 0 to nsample - 1 do
+    Hashtbl.replace sampled (Ycsb.key_name rank) ()
+  done;
+  let ngroups = Kv_cluster.group_count cluster in
+  (* Per-thread result slots — no cross-thread mutation, no locks.  All
+     timestamps are monotonic ({!Clock.now}), one clock for every
+     thread, so the merged per-key histories order correctly. *)
+  let lat_logs = Array.make spec.clients [] in
+  let sample_logs = Array.make spec.clients [] in
+  let group_ops = Array.init spec.clients (fun _ -> Array.make ngroups 0) in
+  let touched = Array.init spec.clients (fun _ -> Hashtbl.create 64) in
+  let completed = Array.make spec.clients 0 in
+  let starved = Array.make spec.clients false in
+  let late_counts = Array.make spec.clients 0 in
+  let retry_counts = Array.make spec.clients 0 in
+  (* Distinct written values without a shared counter: client [i] owns
+     the contiguous block starting at [initial + 1 + i * ops]. *)
+  let value_base = History.initial_value + 1 in
+  let body i () =
+    let rng = Rng.create ~seed:(spec.seed + ((i + 1) * 7919)) in
+    let cl = Router.client router ~index:i in
+    (* Protocol instances are per (client, key): the writer/reader
+       closures carry per-register state (clocks, valQueues), so one
+       instance per key this client touches, memoized. *)
+    let writers = Hashtbl.create 64 in
+    let readers = Hashtbl.create 64 in
+    let writer_for key =
+      match Hashtbl.find_opt writers key with
+      | Some w -> w
+      | None ->
+        let w = algo.Client_core.new_writer (Router.key_ctx cl key) ~writer:i in
+        Hashtbl.replace writers key w;
+        w
+    in
+    let reader_for key =
+      match Hashtbl.find_opt readers key with
+      | Some r -> r
+      | None ->
+        let r = algo.Client_core.new_reader (Router.key_ctx cl key) ~reader:i in
+        Hashtbl.replace readers key r;
+        r
+    in
+    let lats = ref [] in
+    let slog = ref [] in
+    (try
+       for n = 0 to spec.ops_per_client - 1 do
+         let rank = Ycsb.next_key ycsb rng in
+         let key = Ycsb.key_name rank in
+         Hashtbl.replace touched.(i) key ();
+         let g = Kv_cluster.group_of cluster key in
+         group_ops.(i).(g) <- group_ops.(i).(g) + 1;
+         let is_sampled = Hashtbl.mem sampled key in
+         let record s = if is_sampled then slog := (key, s) :: !slog in
+         (match Ycsb.next_op spec.mix rng with
+         | `Write ->
+           let write = writer_for key in
+           let value = value_base + (i * spec.ops_per_client) + n in
+           let t0 = Clock.now () in
+           let s =
+             {
+               s_kind = Op.Write value;
+               s_reader = false;
+               s_inv = t0;
+               s_resp = None;
+               s_result = None;
+             }
+           in
+           record s;
+           write ~payload:value ~k:(fun _tag ->
+               let t1 = Clock.now () in
+               s.s_resp <- Some t1;
+               lats := (false, t1 -. t0) :: !lats;
+               completed.(i) <- completed.(i) + 1)
+         | `Read ->
+           let read = reader_for key in
+           let t0 = Clock.now () in
+           let s =
+             {
+               s_kind = Op.Read;
+               s_reader = true;
+               s_inv = t0;
+               s_resp = None;
+               s_result = None;
+             }
+           in
+           record s;
+           read ~k:(fun value _tag ->
+               let t1 = Clock.now () in
+               s.s_resp <- Some t1;
+               s.s_result <- Some value;
+               lats := (true, t1 -. t0) :: !lats;
+               completed.(i) <- completed.(i) + 1));
+         if spec.think > 0.0 then Thread.delay spec.think
+       done
+     with Endpoint.Unavailable _ -> starved.(i) <- true);
+    lat_logs.(i) <- !lats;
+    sample_logs.(i) <- !slog;
+    late_counts.(i) <- Router.late_replies cl;
+    retry_counts.(i) <- Router.retries cl;
+    Router.close_client cl
+  in
+  let t0 = Clock.now () in
+  let threads =
+    List.init spec.clients (fun i -> Thread.create (body i) ())
+  in
+  List.iter Thread.join threads;
+  let duration = Clock.now () -. t0 in
+  let dropped = Router.dropped_replies router in
+  Router.shutdown router;
+  (* Aggregate. *)
+  let all = Array.to_list lat_logs |> List.concat in
+  let all_lat = Stats.of_latencies (List.map snd all) in
+  let read_lat =
+    Stats.of_latencies (List.filter_map (fun (r, l) -> if r then Some l else None) all)
+  in
+  let write_lat =
+    Stats.of_latencies
+      (List.filter_map (fun (r, l) -> if r then None else Some l) all)
+  in
+  let ops = Array.fold_left ( + ) 0 completed in
+  let verdicts =
+    List.init nsample (fun rank ->
+        let key = Ycsb.key_name rank in
+        let records =
+          Array.to_list
+            (Array.mapi
+               (fun i log ->
+                 List.filter_map
+                   (fun (k, s) -> if k = key then Some (i, s) else None)
+                   log)
+               sample_logs)
+          |> List.concat
+        in
+        let history = history_of_key records in
+        let atomic, witness =
+          match Checker.Atomicity.check history with
+          | Ok () -> (true, None)
+          | Error w -> (false, Some w)
+        in
+        { vkey = key; vops = List.length records; atomic; witness })
+  in
+  let group_totals = Array.make ngroups 0 in
+  Array.iter
+    (fun per ->
+      Array.iteri (fun g n -> group_totals.(g) <- group_totals.(g) + n) per)
+    group_ops;
+  let distinct = Hashtbl.create 256 in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun k () -> Hashtbl.replace distinct k ()) tbl)
+    touched;
+  {
+    duration;
+    ops;
+    throughput = (if duration > 0.0 then float_of_int ops /. duration else 0.0);
+    all_lat;
+    read_lat;
+    write_lat;
+    verdicts;
+    starved = Array.fold_left (fun a b -> if b then a + 1 else a) 0 starved;
+    late = Array.fold_left ( + ) 0 late_counts;
+    retries = Array.fold_left ( + ) 0 retry_counts;
+    dropped;
+    group_ops = group_totals;
+    keys_touched = Hashtbl.length distinct;
+  }

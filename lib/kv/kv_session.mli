@@ -1,0 +1,60 @@
+(** The YCSB-shaped closed-loop workload driver over a sharded keyspace.
+
+    One OS thread per client; each draws keys and operation kinds from
+    its own seeded generator and runs the chosen registry protocol
+    per key through the placement {!Router}.  Every operation's latency
+    is recorded; full operation histories only for the hottest
+    [sample_keys] ranks, so {!Checker.Atomicity} can pass per-key
+    verdicts without the driver holding millions of operations. *)
+
+type spec = {
+  clients : int;
+  ops_per_client : int;
+  keys : int;  (** keyspace size (ranks 0..keys-1) *)
+  dist : Workload.Ycsb.dist;
+  mix : Workload.Ycsb.mix;
+  seed : int;
+  sample_keys : int;
+      (** record + atomicity-check the first [sample_keys] ranks *)
+  think : float;  (** per-op pause in seconds; 0 = closed loop *)
+}
+
+val default_spec : spec
+
+type key_verdict = {
+  vkey : string;
+  vops : int;  (** operations recorded against this key *)
+  atomic : bool;
+  witness : Checker.Witness.t option;  (** present iff not [atomic] *)
+}
+
+type result = {
+  duration : float;
+  ops : int;  (** completed operations across all clients *)
+  throughput : float;  (** completed operations per second *)
+  all_lat : Workload.Stats.summary;
+  read_lat : Workload.Stats.summary;
+  write_lat : Workload.Stats.summary;  (** latencies in seconds *)
+  verdicts : key_verdict list;  (** one per sampled key, rank order *)
+  starved : int;  (** clients aborted by [Endpoint.Unavailable] *)
+  late : int;
+  retries : int;
+  dropped : int;  (** mux demux drops (unknown client / stale key) *)
+  group_ops : int array;  (** operations routed to each shard group *)
+  keys_touched : int;  (** distinct keys operated on *)
+}
+
+val run :
+  ?transport:Transport.Cluster.transport ->
+  ?rt_timeout:float ->
+  ?max_rt_retries:int ->
+  ?register:Protocol.Register_intf.t ->
+  cluster:Kv_cluster.t ->
+  spec ->
+  result
+(** [run ~cluster spec] drives [spec.clients] threads of
+    [spec.ops_per_client] operations each against the sharded keyspace.
+    [register] defaults to the multi-writer ABD descendant
+    ({!Registers.Registry.abd_mwmr}); protocols with a writer bound
+    (e.g. single-writer naive registers) are rejected unless the mix is
+    read-only.  Raises [Invalid_argument] on bad specs. *)

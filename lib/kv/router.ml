@@ -1,0 +1,100 @@
+open Registers
+open Transport
+
+(* The client-side placement router: one process-wide view of every
+   shard group's data plane, plus per-client handles that turn a key
+   into a {!Client_core.ctx} pinned to that key's group.
+
+   On the [`Mux] plane the router owns one shared {!Mux.t} per group —
+   all clients in the process ride [groups × s] connections total.  On
+   [`Sockets] each client owns its private per-group endpoints, the
+   baseline the mux is measured against, exactly as in the single-
+   register stack.  Either way the protocol algorithms stay key-blind:
+   {!key_ctx} hands them an endpoint that stamps the key on every round
+   trip, so any registry protocol runs per-key unchanged. *)
+
+type t = {
+  kc : Kv_cluster.t;
+  transport : Cluster.transport;
+  muxes : Mux.t option array; (* one per group when [`Mux] *)
+  rt_timeout : float option;
+  max_rt_retries : int option;
+  readers : int; (* the ctx's r: how many clients may read *)
+}
+
+let create ?(transport = `Mux) ?rt_timeout ?max_rt_retries ~clients kc =
+  let n = Kv_cluster.group_count kc in
+  let muxes =
+    match transport with
+    | `Sockets -> Array.make n None
+    | `Mux ->
+      Array.init n (fun g ->
+          Some
+            (Mux.create ?rt_timeout ?max_rt_retries
+               ~servers:(Cluster.addrs (Kv_cluster.group kc g))
+               ~quorum:(Kv_cluster.quorum kc) ()))
+  in
+  { kc; transport; muxes; rt_timeout; max_rt_retries; readers = clients }
+
+let transport t = t.transport
+
+type client = {
+  index : int;
+  node : int; (* id recorded in the servers' updated sets *)
+  eps : Endpoint.t array; (* one per shard group *)
+  router : t;
+}
+
+(* KV clients interleave reads and writes, so one node id serves both
+   roles: client [index] is writer [index] (its wid) and reader [index].
+   Ids start past the per-group server ids, mirroring Topology's
+   servers-first numbering. *)
+let client t ~index =
+  let node = Kv_cluster.s t.kc + index in
+  let eps =
+    Array.init (Kv_cluster.group_count t.kc) (fun g ->
+        match t.muxes.(g) with
+        | Some m -> Endpoint.of_mux (Mux.client m ~client:node)
+        | None ->
+          Endpoint.create ?rt_timeout:t.rt_timeout
+            ?max_rt_retries:t.max_rt_retries ~client:node
+            ~servers:(Cluster.addrs (Kv_cluster.group t.kc g))
+            ~quorum:(Kv_cluster.quorum t.kc) ())
+  in
+  { index; node; eps; router = t }
+
+let index c = c.index
+
+let node c = c.node
+
+let group_endpoint c g = c.eps.(g)
+
+let key_ctx c key =
+  let t = c.router in
+  let g = Kv_cluster.group_of t.kc key in
+  let ep = Endpoint.keyed_endpoint c.eps.(g) ~key in
+  {
+    Client_core.writer_ep = (fun _ -> ep);
+    reader_ep = (fun _ -> ep);
+    s = Kv_cluster.s t.kc;
+    t = Kv_cluster.tolerance t.kc;
+    r = t.readers;
+  }
+
+let sum_eps f c = Array.fold_left (fun acc ep -> acc + f ep) 0 c.eps
+
+let rounds_completed c = sum_eps Endpoint.rounds_completed c
+
+let late_replies c = sum_eps Endpoint.late_replies c
+
+let retries c = sum_eps Endpoint.retries c
+
+let dropped_replies t =
+  Array.fold_left
+    (fun acc m ->
+      acc + match m with Some m -> Mux.dropped_replies m | None -> 0)
+    0 t.muxes
+
+let close_client c = Array.iter Endpoint.close c.eps
+
+let shutdown t = Array.iter (fun m -> Option.iter Mux.shutdown m) t.muxes

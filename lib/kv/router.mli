@@ -1,0 +1,60 @@
+(** The client-side placement router over the keyspace.
+
+    One router per process views every shard group's data plane: on the
+    [`Mux] transport it owns one shared {!Transport.Mux.t} per group
+    (all clients ride [groups × s] connections total); on [`Sockets]
+    each client owns private per-group endpoints.  {!key_ctx} then turns
+    (client, key) into a {!Registers.Client_core.ctx} whose endpoint
+    stamps the key on every round trip — the protocol algorithms stay
+    key-blind and run per-key unchanged. *)
+
+type t
+
+val create :
+  ?transport:Transport.Cluster.transport ->
+  ?rt_timeout:float ->
+  ?max_rt_retries:int ->
+  clients:int ->
+  Kv_cluster.t ->
+  t
+(** [create ~clients kc] builds the process-wide plane view.  [clients]
+    is the client-population size the per-key contexts report as their
+    reader count [r] (the fast-read admissibility scan needs it). *)
+
+val transport : t -> Transport.Cluster.transport
+
+type client
+(** One client's view: an endpoint per shard group plus its node
+    identity.  Belongs to one thread; operations are sequential. *)
+
+val client : t -> index:int -> client
+(** Client [index]'s handles.  Its node id is [s + index] (servers
+    first, as in {!Protocol.Topology}); the same id serves as writer
+    [index] (tag wid) and reader [index], since KV clients interleave
+    both kinds. *)
+
+val index : client -> int
+
+val node : client -> int
+
+val group_endpoint : client -> int -> Transport.Endpoint.t
+(** The client's endpoint for shard group [g] (stats/tests). *)
+
+val key_ctx : client -> string -> Registers.Client_core.ctx
+(** The backend context for operating on [key]: endpoints pinned to
+    [key]'s shard group carrying [key] on every round trip, with the
+    group's [s]/[t] and the router's client population as [r]. *)
+
+val rounds_completed : client -> int
+val late_replies : client -> int
+val retries : client -> int
+
+val dropped_replies : t -> int
+(** Sum of {!Transport.Mux.dropped_replies} across the per-group shared
+    planes (0 on [`Sockets]). *)
+
+val close_client : client -> unit
+
+val shutdown : t -> unit
+(** Shut down the shared per-group planes ([`Mux]); call after every
+    client is closed. *)

@@ -1,0 +1,46 @@
+(** A named keyspace of atomic registers: one {!Replica} per key.
+
+    Replicas are instantiated lazily, on the first request that names
+    their key, and the set of fully-materialised replicas is
+    recency-bounded the way {!Replica}'s own value vector is: past
+    [max_hot] resident replicas, the least recently used are demoted to
+    their {!Replica.save} snapshots and rebuilt on the next access.
+    Demotion is loss-free — the snapshot carries the vector with its
+    [updated] certificate sets — so bounding memory never costs
+    atomicity, only a rebuild when a cold key is touched again.
+
+    The keyspace is not itself thread-safe: the server serialises all
+    access behind its replica lock, preserving the model's
+    one-message-at-a-time server semantics per key. *)
+
+type t
+
+val create : ?max_hot:int -> unit -> t
+(** An empty keyspace keeping at most [max_hot] (default 4096) replicas
+    fully materialised. *)
+
+val find : t -> string -> Replica.t
+(** The replica for a key, creating or rehydrating it as needed and
+    marking it most recently used. *)
+
+val handle : t -> key:string -> client:int -> Wire.req -> Wire.rep
+(** [handle t ~key ~client req] runs [req] against [key]'s replica —
+    {!Replica.handle} on {!find}'s result. *)
+
+val key_count : t -> int
+(** Distinct keys ever touched (resident + demoted). *)
+
+val hot_count : t -> int
+(** Keys currently holding a materialised replica. *)
+
+val keys : t -> string list
+(** Every key, sorted. *)
+
+type state = (string * Replica.state) list
+(** Durable snapshot of the whole keyspace, sorted by key. *)
+
+val save : t -> state
+
+val load : ?max_hot:int -> state -> t
+(** Rebuild from a snapshot.  All keys start demoted and rehydrate
+    lazily on first access. *)

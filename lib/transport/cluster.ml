@@ -3,6 +3,7 @@ open Registers
 type t = {
   servers : Server.t option array; (* empty when attached to remote daemons *)
   replicas : Replica.t array;
+  keyspaces : Keyspace.t array; (* named registers, one table per server *)
   sockaddrs : Unix.sockaddr array;
   s : int;
   tol : int;
@@ -14,9 +15,12 @@ let start ?faults ?(shards = 1) ~s ~tol () =
   if s < 2 then invalid_arg "Cluster.start: need at least 2 servers";
   if tol < 0 || tol >= s then invalid_arg "Cluster.start: need 0 <= tol < s";
   let replicas = Array.init s (fun _ -> Replica.create ()) in
+  let keyspaces = Array.init s (fun _ -> Keyspace.create ()) in
   let servers =
     Array.init s (fun i ->
-        Some (Server.start ~id:i ~shards ?faults ~replica:replicas.(i) ()))
+        Some
+          (Server.start ~id:i ~shards ?faults ~keyspace:keyspaces.(i)
+             ~replica:replicas.(i) ()))
   in
   let sockaddrs =
     Array.map
@@ -26,7 +30,7 @@ let start ?faults ?(shards = 1) ~s ~tol () =
         | None -> assert false)
       servers
   in
-  { servers; replicas; sockaddrs; s; tol; shards; faults }
+  { servers; replicas; keyspaces; sockaddrs; s; tol; shards; faults }
 
 let connect ~addrs ~tol () =
   let s = Array.length addrs in
@@ -35,6 +39,7 @@ let connect ~addrs ~tol () =
   {
     servers = [||];
     replicas = [||];
+    keyspaces = [||];
     sockaddrs = addrs;
     s;
     tol;
@@ -61,6 +66,10 @@ let replica t i =
   if not (local t) then invalid_arg "Cluster.replica: remote cluster";
   t.replicas.(i)
 
+let keyspace t i =
+  if not (local t) then invalid_arg "Cluster.keyspace: remote cluster";
+  t.keyspaces.(i)
+
 let kill t i =
   if not (local t) then invalid_arg "Cluster.kill: cannot kill remote servers";
   match t.servers.(i) with
@@ -85,16 +94,24 @@ let restart ?(mode = `Recover) t i =
   match t.servers.(i) with
   | Some _ -> ()
   | None ->
-    let replica =
+    let replica, keyspace =
       match mode with
-      | `Recover -> Replica.load (Replica.save t.replicas.(i))
-      | `Fresh -> Replica.create ()
+      | `Recover ->
+        (* Both the default register and every named one travel through
+           their save/load state APIs: the restart is indistinguishable
+           from a very slow server for the whole keyspace, not just the
+           single-register plane. *)
+        ( Replica.load (Replica.save t.replicas.(i)),
+          Keyspace.load (Keyspace.save t.keyspaces.(i)) )
+      | `Fresh -> (Replica.create (), Keyspace.create ())
     in
     t.replicas.(i) <- replica;
+    t.keyspaces.(i) <- keyspace;
     let port = port t i in
     let rec bind_retrying n =
       match
-        Server.start ~port ~id:i ~shards:t.shards ?faults:t.faults ~replica ()
+        Server.start ~port ~id:i ~shards:t.shards ?faults:t.faults ~keyspace
+          ~replica ()
       with
       | sv -> sv
       | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) when n > 0 ->

@@ -38,6 +38,11 @@ val addrs : t -> Unix.sockaddr array
 val replica : t -> int -> Registers.Replica.t
 (** Server [i]'s state machine (inspection/tests). *)
 
+val keyspace : t -> int -> Registers.Keyspace.t
+(** Server [i]'s named-register table (inspection/tests).  Carried
+    across [`Recover] restarts through {!Registers.Keyspace.save}/[load],
+    exactly like the default replica. *)
+
 val kill : t -> int -> unit
 (** Crash server [i]: connections sever, its port stops answering.
     Idempotent. *)

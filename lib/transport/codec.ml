@@ -7,12 +7,23 @@ let fail fmt = Printf.ksprintf (fun msg -> raise (Decode_error msg)) fmt
 type frame =
   | Request of { rt : int; client : int; req : Wire.req }
   | Reply of { rt : int; client : int; server : int; rep : Wire.rep }
+  | Keyed_request of { key : string; rt : int; client : int; req : Wire.req }
+  | Keyed_reply of {
+      key : string;
+      rt : int;
+      client : int;
+      server : int;
+      rep : Wire.rep;
+    }
 
 (* Hard ceilings so a corrupt or hostile peer cannot make us allocate
    unboundedly.  Generous versus anything the protocols produce. *)
 let max_frame_len = 1 lsl 26 (* 64 MiB *)
 
 let max_list_len = 1 lsl 20
+
+(* Keys are short names, not blobs; anything longer is a broken peer. *)
+let max_key_len = 1024
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -50,6 +61,14 @@ let add_rep b = function
     Buffer.add_char b '\001';
     add_value b current
 
+(* Encoding an oversized key is a caller bug, caught here rather than at
+   the receiving server's strict decoder. *)
+let add_key b k =
+  if String.length k > max_key_len then
+    invalid_arg "Codec: key exceeds max_key_len";
+  add_int b (String.length k);
+  Buffer.add_string b k
+
 let add_frame b = function
   | Request { rt; client; req } ->
     Buffer.add_char b '\000';
@@ -58,6 +77,19 @@ let add_frame b = function
     add_req b req
   | Reply { rt; client; server; rep } ->
     Buffer.add_char b '\001';
+    add_int b rt;
+    add_int b client;
+    add_int b server;
+    add_rep b rep
+  | Keyed_request { key; rt; client; req } ->
+    Buffer.add_char b '\002';
+    add_key b key;
+    add_int b rt;
+    add_int b client;
+    add_req b req
+  | Keyed_reply { key; rt; client; server; rep } ->
+    Buffer.add_char b '\003';
+    add_key b key;
     add_int b rt;
     add_int b client;
     add_int b server;
@@ -80,9 +112,14 @@ let rep_size = function
           acc + value_size + 8 + (8 * List.length updated))
         0 vector
 
+let key_size k = 8 + String.length k
+
 let body_size = function
   | Request { req; _ } -> 1 + 8 + 8 + req_size req
   | Reply { rep; _ } -> 1 + 8 + 8 + 8 + rep_size rep
+  | Keyed_request { key; req; _ } -> 1 + key_size key + 8 + 8 + req_size req
+  | Keyed_reply { key; rep; _ } ->
+    1 + key_size key + 8 + 8 + 8 + rep_size rep
 
 let frame_size frame = 4 + body_size frame
 
@@ -161,6 +198,14 @@ let get_rep c =
   | 1 -> Wire.Write_ack { current = get_value c }
   | b -> fail "unknown reply tag %d" b
 
+let get_key c =
+  let n = get_int c in
+  if n < 0 || n > max_key_len then fail "bad key length %d" n;
+  need c n;
+  let k = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  k
+
 let get_frame c =
   match get_byte c with
   | 0 ->
@@ -174,6 +219,19 @@ let get_frame c =
     let server = get_int c in
     let rep = get_rep c in
     Reply { rt; client; server; rep }
+  | 2 ->
+    let key = get_key c in
+    let rt = get_int c in
+    let client = get_int c in
+    let req = get_req c in
+    Keyed_request { key; rt; client; req }
+  | 3 ->
+    let key = get_key c in
+    let rt = get_int c in
+    let client = get_int c in
+    let server = get_int c in
+    let rep = get_rep c in
+    Keyed_reply { key; rt; client; server; rep }
   | b -> fail "unknown frame tag %d" b
 
 let decode_body body =

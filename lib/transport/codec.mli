@@ -19,9 +19,33 @@ type frame =
       (** Replies echo the requesting [client]: on a multiplexed
           connection shared by many clients, [(client, rt)] is the
           routing key that delivers the reply to the right mailbox. *)
+  | Keyed_request of {
+      key : string;
+      rt : int;
+      client : int;
+      req : Registers.Wire.req;
+    }
+      (** A request addressed to one named register of a server's
+          keyspace rather than its single default replica.  Unkeyed
+          frames stay on the wire unchanged, so old clients and keyed
+          clients share a connection. *)
+  | Keyed_reply of {
+      key : string;
+      rt : int;
+      client : int;
+      server : int;
+      rep : Registers.Wire.rep;
+    }
+      (** The keyed reply echoes the request's [key]: a client awaiting
+          key [k] must drop a reply for any other key rather than count
+          it toward its quorum. *)
 
 val max_frame_len : int
 (** Largest accepted body, in bytes (corrupt-length guard). *)
+
+val max_key_len : int
+(** Longest accepted register key, in bytes.  Encoding a longer key
+    raises [Invalid_argument]; decoding one raises {!Decode_error}. *)
 
 val frame_size : frame -> int
 (** Exact wire size of [frame] (length prefix included), computed

@@ -166,7 +166,7 @@ let send_truncated c bytes len =
    arrives afterwards as late.  One endpoint serves one client thread;
    operations are sequential per client, so a single in-flight rt
    suffices. *)
-let sockets_exec t req k =
+let sockets_exec ?key t req k =
   let rt = t.next_rt in
   t.next_rt <- rt + 1;
   t.started <- t.started + 1;
@@ -177,24 +177,37 @@ let sockets_exec t req k =
   let nreplies = ref 0 in
   (* Encode once into the reused buffer; the same bytes go to every
      server. *)
-  Codec.encode_into t.enc (Codec.Request { rt; client = t.client; req });
+  let frame =
+    match key with
+    | None -> Codec.Request { rt; client = t.client; req }
+    | Some key -> Codec.Keyed_request { key; rt; client = t.client; req }
+  in
+  Codec.encode_into t.enc frame;
   let len = Buffer.length t.enc in
   if len > Bytes.length t.out then
     t.out <- Bytes.create (max len (2 * Bytes.length t.out));
   Buffer.blit t.enc 0 t.out 0 len;
+  (* A reply counts only when both the round-trip id and the register
+     key echo what this round sent; anything else is late traffic. *)
+  let accept i rt' key' rep =
+    if rt' = rt && key' = key && not replied.(i) then begin
+      replied.(i) <- true;
+      (* Label replies with the connection's server index — it is
+         authoritative, unlike the peer-reported field. *)
+      replies := (i, rep) :: !replies;
+      incr nreplies
+    end
+    else t.late <- t.late + 1
+  in
   let handle_frame i = function
-    | Codec.Request _ ->
+    | Codec.Request _ | Codec.Keyed_request _ ->
       (* Servers never send requests; treat as a broken peer. *)
       drop t.conns.(i)
     | Codec.Reply { rt = rt'; client = _; server = _; rep } ->
-      if rt' = rt && not replied.(i) then begin
-        replied.(i) <- true;
-        (* Label replies with the connection's server index — it is
-           authoritative, unlike the peer-reported field. *)
-        replies := (i, rep) :: !replies;
-        incr nreplies
-      end
-      else t.late <- t.late + 1
+      accept i rt' None rep
+    | Codec.Keyed_reply { key = key'; rt = rt'; client = _; server = _; rep }
+      ->
+      accept i rt' (Some key') rep
   in
   let attempt = ref 0 in
   let broadcast () =
@@ -304,12 +317,17 @@ let sockets_exec t req k =
 (* The common face                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let exec t req k =
+let exec ?key t req k =
   match t with
-  | Sockets s -> sockets_exec s req k
-  | Shared h -> Mux.exec h req k
+  | Sockets s -> sockets_exec ?key s req k
+  | Shared h -> Mux.exec ?key h req k
 
 let endpoint t = { Client_core.exec = (fun req k -> exec t req k) }
+
+(* The same endpoint viewed through one register of the keyspace: the
+   protocol algorithms stay key-blind, the key rides every round trip. *)
+let keyed_endpoint t ~key =
+  { Client_core.exec = (fun req k -> exec ~key t req k) }
 
 let rounds_started = function
   | Sockets s -> s.started

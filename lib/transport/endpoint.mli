@@ -58,14 +58,27 @@ val create :
 val of_mux : Mux.handle -> t
 (** An endpoint over a client handle of a shared {!Mux} plane. *)
 
-val exec : t -> Registers.Wire.req -> ((int * Registers.Wire.rep) list -> unit) -> unit
+val exec :
+  ?key:string ->
+  t ->
+  Registers.Wire.req ->
+  ((int * Registers.Wire.rep) list -> unit) ->
+  unit
 (** One round trip.  The continuation receives [(server_index, reply)]
-    pairs in arrival order and runs in the calling thread.
+    pairs in arrival order and runs in the calling thread.  With [key]
+    the round trip addresses that named register of the servers'
+    keyspaces; only replies echoing the same key count toward the
+    quorum, on either plane.
     @raise Unavailable when fewer than [quorum] servers answered. *)
 
 val endpoint : t -> Registers.Client_core.endpoint
 (** The endpoint as the backend-agnostic capability consumed by the
     {!Registers.Client_core} algorithms. *)
+
+val keyed_endpoint : t -> key:string -> Registers.Client_core.endpoint
+(** The same capability pinned to one named register: every round trip
+    it executes carries [key], so a key-blind protocol algorithm runs
+    against that register unchanged. *)
 
 val rounds_started : t -> int
 val rounds_completed : t -> int

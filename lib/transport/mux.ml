@@ -40,8 +40,12 @@ type mailbox = {
   mb_lock : Mutex.t;
   mb_cond : Condition.t;
   (* State of the (single) in-flight round trip.  [mb_rt = -1] means no
-     round trip is open: anything routed then is late. *)
+     round trip is open: anything routed then is late.  [mb_key] is the
+     open round trip's register key ([None] = the default register): a
+     reply whose key differs cannot count toward this quorum and is
+     dropped, never delivered. *)
   mutable mb_rt : int;
+  mutable mb_key : string option;
   mb_from : bool array; (* per-server dedup for the open round trip *)
   mutable mb_replies : (int * Wire.rep) list; (* newest first *)
   mutable mb_n : int;
@@ -68,6 +72,12 @@ type t = {
   faults : Faults.t option;
   routes : (int, mailbox) Hashtbl.t;
   routes_lock : Mutex.t;
+  (* Replies that matched no open round trip at all: unknown client
+     (handle released, or a peer inventing ids) or a key mismatch on the
+     open round.  Distinct from [mb_late] — a late reply belongs to a
+     round this client really ran; a dropped one could never have been
+     delivered anywhere. *)
+  dropped : int Atomic.t;
   mutable demuxers : Thread.t list; (* joined on shutdown *)
   mutable ticker : Thread.t option;
   mutable stopping : bool;
@@ -79,23 +89,36 @@ type handle = { mux : t; mb : mailbox }
 (* Reply routing (demux threads)                                       *)
 (* ------------------------------------------------------------------ *)
 
-let route t ~server_index ~client ~rt rep =
+let route t ~server_index ~client ~rt ~key rep =
   let mb =
     Mutex.protect t.routes_lock (fun () -> Hashtbl.find_opt t.routes client)
   in
   match mb with
-  | None -> () (* client released its handle: drop the straggler *)
+  | None ->
+    (* Client released its handle (or the peer invented an id): there is
+       no mailbox this could ever belong to. *)
+    Atomic.incr t.dropped
   | Some mb ->
     Mutex.protect mb.mb_lock (fun () ->
-        if mb.mb_rt = rt && not mb.mb_from.(server_index) then begin
-          mb.mb_from.(server_index) <- true;
-          mb.mb_replies <- (server_index, rep) :: mb.mb_replies;
-          mb.mb_n <- mb.mb_n + 1;
-          (* Quorum-gated wake-up: replies below the quorum cannot
-             unblock the waiter, so signalling them would only burn a
-             scheduler pass per straggler.  The ticker covers timeout
-             detection for rounds that never get there. *)
-          if mb.mb_n >= t.quorum then Condition.signal mb.mb_cond
+        if mb.mb_rt = rt then begin
+          if key <> mb.mb_key then
+            (* Same round-trip id, wrong register: a stale or corrupt
+               key route.  Counting it toward the quorum would hand the
+               waiter another key's value — drop it instead, and never
+               touch the dedup/reply state, so the real replies still
+               complete the round (no wedge). *)
+            Atomic.incr t.dropped
+          else if not mb.mb_from.(server_index) then begin
+            mb.mb_from.(server_index) <- true;
+            mb.mb_replies <- (server_index, rep) :: mb.mb_replies;
+            mb.mb_n <- mb.mb_n + 1;
+            (* Quorum-gated wake-up: replies below the quorum cannot
+               unblock the waiter, so signalling them would only burn a
+               scheduler pass per straggler.  The ticker covers timeout
+               detection for rounds that never get there. *)
+            if mb.mb_n >= t.quorum then Condition.signal mb.mb_cond
+          end
+          else mb.mb_late <- mb.mb_late + 1
         end
         else mb.mb_late <- mb.mb_late + 1)
 
@@ -125,9 +148,12 @@ let demux t c fd () =
            | Some (Codec.Reply { rt; client; server = _; rep }) ->
              (* Route by (client, rt); the connection's own index is the
                 authoritative server label, as in the private path. *)
-             route t ~server_index:c.index ~client ~rt rep;
+             route t ~server_index:c.index ~client ~rt ~key:None rep;
              drain ()
-           | Some (Codec.Request _) ->
+           | Some (Codec.Keyed_reply { key; rt; client; server = _; rep }) ->
+             route t ~server_index:c.index ~client ~rt ~key:(Some key) rep;
+             drain ()
+           | Some (Codec.Request _) | Some (Codec.Keyed_request _) ->
              (* Servers never send requests; cut the broken peer off. *)
              stop := true
            | None -> ()
@@ -317,6 +343,7 @@ let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
       faults;
       routes = Hashtbl.create 16;
       routes_lock = Mutex.create ();
+      dropped = Atomic.make 0;
       demuxers = [];
       ticker = None;
       stopping = false;
@@ -336,6 +363,7 @@ let client t ~client =
       mb_lock = Mutex.create ();
       mb_cond = Condition.create ();
       mb_rt = -1;
+      mb_key = None;
       mb_from = Array.make (Array.length t.conns) false;
       mb_replies = [];
       mb_n = 0;
@@ -389,19 +417,25 @@ let shutdown t =
 (* The round trip                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let exec h req k =
+let exec ?key h req k =
   let t = h.mux and mb = h.mb in
   let rt = mb.mb_next_rt in
   mb.mb_next_rt <- rt + 1;
   mb.mb_started <- mb.mb_started + 1;
   Mutex.protect mb.mb_lock (fun () ->
       mb.mb_rt <- rt;
+      mb.mb_key <- key;
       Array.fill mb.mb_from 0 (Array.length mb.mb_from) false;
       mb.mb_replies <- [];
       mb.mb_n <- 0;
       mb.mb_deadline <- now () +. t.rt_timeout);
   (* Encode once; the same bytes go out on all S shared connections. *)
-  Codec.encode_into mb.enc (Codec.Request { rt; client = mb.client; req });
+  let frame =
+    match key with
+    | None -> Codec.Request { rt; client = mb.client; req }
+    | Some key -> Codec.Keyed_request { key; rt; client = mb.client; req }
+  in
+  Codec.encode_into mb.enc frame;
   let len = Buffer.length mb.enc in
   if len > Bytes.length mb.out then
     mb.out <- Bytes.create (max len (2 * Bytes.length mb.out));
@@ -467,6 +501,7 @@ let exec h req k =
   let nreplies = mb.mb_n in
   let replies = List.rev mb.mb_replies in
   mb.mb_rt <- -1;
+  mb.mb_key <- None;
   mb.mb_deadline <- infinity;
   mb.mb_replies <- [];
   Mutex.unlock mb.mb_lock;
@@ -487,3 +522,5 @@ let rounds_completed h = h.mb.mb_completed
 let late_replies h = h.mb.mb_late
 
 let retries h = h.mb.mb_retried
+
+let dropped_replies t = Atomic.get t.dropped

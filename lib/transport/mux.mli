@@ -58,10 +58,17 @@ val client : t -> client:int -> handle
     replaces the previous route. *)
 
 val exec :
-  handle -> Registers.Wire.req -> ((int * Registers.Wire.rep) list -> unit) -> unit
+  ?key:string ->
+  handle ->
+  Registers.Wire.req ->
+  ((int * Registers.Wire.rep) list -> unit) ->
+  unit
 (** One round trip over the shared connections.  The continuation
     receives [(server_index, reply)] pairs in arrival order and runs in
-    the calling thread.
+    the calling thread.  With [key] the request addresses that named
+    register of each server's keyspace ([Codec.Keyed_request]); only
+    replies echoing the same key count toward the quorum — a reply for
+    any other key is dropped (see {!dropped_replies}), never delivered.
     @raise Unavailable when fewer than [quorum] servers answered. *)
 
 val rounds_started : handle -> int
@@ -72,6 +79,13 @@ val late_replies : handle -> int
 
 val retries : handle -> int
 (** Re-broadcasts issued after a round-trip timeout. *)
+
+val dropped_replies : t -> int
+(** Replies that matched no open round trip at all and were discarded:
+    an unknown (released or never-registered) client id, or a key that
+    differs from the one the client's open round trip asked for.  Either
+    way the reply could not have been delivered anywhere — it is counted
+    here and dropped without touching any mailbox's quorum state. *)
 
 val release : handle -> unit
 (** Unregister the client's route.  Replies still in flight for it are

@@ -94,6 +94,7 @@ type t = {
   listen_fd : Unix.file_descr;
   port : int;
   replica : Replica.t;
+  keyspace : Keyspace.t; (* named registers, same lock as [replica] *)
   replica_lock : Mutex.t;
   faults : Faults.t option;
   shards : shard array;
@@ -126,6 +127,8 @@ let outq_limit = 4 * 1024 * 1024
 let port t = t.port
 
 let replica t = t.replica
+
+let keyspace t = t.keyspace
 
 let connection_count t = Atomic.get t.live_conns
 
@@ -174,19 +177,30 @@ let add_timer sh tm =
 (* Run one wakeup's worth of decoded requests through the replica under
    a single lock acquisition (the batch fast path for multiplexed client
    connections), decide each reply frame's fate under the fault plan,
-   and coalesce every immediate delivery into one flush. *)
+   and coalesce every immediate delivery into one flush.  Keyed requests
+   dispatch to the keyspace's per-key replica under the same lock — the
+   model's one-message-at-a-time server, per register. *)
 let process_requests t sh c requests =
   let reps =
     Mutex.protect t.replica_lock (fun () ->
         List.map
-          (fun (rt, client, req) ->
-            (rt, client, Replica.handle t.replica ~client req))
+          (fun (rt, client, key, req) ->
+            let rep =
+              match key with
+              | None -> Replica.handle t.replica ~client req
+              | Some key -> Keyspace.handle t.keyspace ~key ~client req
+            in
+            (rt, client, key, rep))
           requests)
   in
   Buffer.clear sh.reply_buf;
   List.iter
-    (fun (rt, client, rep) ->
-      let frame = Codec.Reply { rt; client; server = t.id; rep } in
+    (fun (rt, client, key, rep) ->
+      let frame =
+        match key with
+        | None -> Codec.Reply { rt; client; server = t.id; rep }
+        | Some key -> Codec.Keyed_reply { key; rt; client; server = t.id; rep }
+      in
       match t.faults with
       | None ->
         Codec.encode_into sh.frame_buf frame;
@@ -270,11 +284,14 @@ let handle_readable t sh c =
      let rec go () =
        match Codec.Stream.next c.stream with
        | None -> ()
-       | Some (Codec.Reply _) ->
+       | Some (Codec.Reply _) | Some (Codec.Keyed_reply _) ->
          (* Only servers speak replies; a confused peer is cut off. *)
          closed := true
        | Some (Codec.Request { rt; client; req }) ->
-         requests := (rt, client, req) :: !requests;
+         requests := (rt, client, None, req) :: !requests;
+         go ()
+       | Some (Codec.Keyed_request { key; rt; client; req }) ->
+         requests := (rt, client, Some key, req) :: !requests;
          go ()
      in
      go ()
@@ -374,7 +391,10 @@ let shard_loop t sh =
   drain_inbox t sh
 
 let start ?(host = "127.0.0.1") ?(port = 0) ?(id = 0) ?(shards = 1) ?faults
-    ~replica () =
+    ?keyspace ~replica () =
+  let keyspace =
+    match keyspace with Some ks -> ks | None -> Keyspace.create ()
+  in
   if shards < 1 then invalid_arg "Server.start: shards must be >= 1";
   Lazy.force ignore_sigpipe;
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -420,6 +440,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(id = 0) ?(shards = 1) ?faults
       listen_fd = fd;
       port;
       replica;
+      keyspace;
       replica_lock = Mutex.create ();
       faults;
       shards = shard_a;

@@ -30,6 +30,7 @@ val start :
   ?id:int ->
   ?shards:int ->
   ?faults:Faults.t ->
+  ?keyspace:Registers.Keyspace.t ->
   replica:Registers.Replica.t ->
   unit ->
   t
@@ -40,13 +41,20 @@ val start :
     [faults] subjects every reply frame to the plan's [From_server]
     rules: drops and blackouts lose it, delays park it on the owning
     shard's timer list and deliver it late, duplicates send it twice,
-    truncation tears the frame mid-byte and severs the connection. *)
+    truncation tears the frame mid-byte and severs the connection.
+    [keyspace] (default fresh and empty) answers keyed requests: a
+    [Codec.Keyed_request] dispatches to the named per-key replica, under
+    the same lock as [replica], and is answered with a [Keyed_reply]
+    echoing the key.  Unkeyed traffic is untouched. *)
 
 val port : t -> int
 (** The actual bound port. *)
 
 val replica : t -> Registers.Replica.t
 (** The hosted state machine (inspection/tests). *)
+
+val keyspace : t -> Registers.Keyspace.t
+(** The hosted named-register table (inspection/tests/recovery). *)
 
 val connection_count : t -> int
 (** Live connections across all shards.  Observability for tests: must

@@ -161,6 +161,9 @@ let frame_gen =
       ]
   in
   let* rt = small_nat and* peer = int_bound 1000 in
+  let key_gen =
+    map (fun s -> "k/" ^ s) (string_size ~gen:printable (int_bound 40))
+  in
   frequency
     [
       (1, map (fun req -> Codec.Request { rt; client = peer; req }) req_gen);
@@ -168,6 +171,17 @@ let frame_gen =
         let* client = int_bound 1000 in
         map (fun rep -> Codec.Reply { rt; client; server = peer; rep }) rep_gen
       );
+      ( 1,
+        let* key = key_gen in
+        map
+          (fun req -> Codec.Keyed_request { key; rt; client = peer; req })
+          req_gen );
+      ( 1,
+        let* client = int_bound 1000 and* key = key_gen in
+        map
+          (fun rep ->
+            Codec.Keyed_reply { key; rt; client; server = peer; rep })
+          rep_gen );
     ]
 
 let frame_print f =
@@ -177,6 +191,12 @@ let frame_print f =
   | Codec.Reply { rt; client; server; rep } ->
     Format.asprintf "rep rt=%d client=%d server=%d %a" rt client server
       Wire.pp_rep rep
+  | Codec.Keyed_request { key; rt; client; req } ->
+    Format.asprintf "kreq key=%S rt=%d client=%d %a" key rt client Wire.pp_req
+      req
+  | Codec.Keyed_reply { key; rt; client; server; rep } ->
+    Format.asprintf "krep key=%S rt=%d client=%d server=%d %a" key rt client
+      server Wire.pp_rep rep
 
 let codec_roundtrip_prop =
   QCheck.Test.make
@@ -471,8 +491,9 @@ let test_reactor_backpressure_slow_reader () =
         check int "A's replies in order" !got rt;
         incr got;
         drain ()
-      | Some (Codec.Request _) ->
-        Alcotest.fail "server sent a request"
+      | Some (Codec.Request _ | Codec.Keyed_request _ | Codec.Keyed_reply _)
+        ->
+        Alcotest.fail "server sent an unexpected frame"
       | None -> ()
     in
     drain ()
