@@ -602,6 +602,108 @@ let check_kv_scaling ~require_knee path = function
     end
   | Null | Bool _ | Num _ | Str _ | Obj _ -> err path "expected an array"
 
+(* The soak section: the streaming checker riding the million-op
+   workloads.  Shape and verdict semantics always (a violation in a
+   regime where the theory promises atomicity means either the
+   protocol or the online checker broke); volume and window-bound
+   semantics only under [--require-knee], because the CI smoke
+   regenerates the rows at a reduced op budget.  The window bound is
+   the tentpole claim: peak resident operations must stay at least an
+   order of magnitude below the stream length, or the checker is
+   quietly holding history. *)
+
+let check_soak ~require_knee path = function
+  | List entries ->
+    if entries = [] then err path "empty";
+    (* (plane, ops, checked, peak_window) per well-formed row. *)
+    let rows = ref [] in
+    List.iteri
+      (fun i e ->
+        let p = Printf.sprintf "%s[%d]" path i in
+        let plane =
+          match want_string e p "plane" with
+          | Some ("kv" | "session") as ok -> ok
+          | Some other ->
+            err (p ^ ".plane") (Printf.sprintf "unknown plane %S" other);
+            None
+          | None -> None
+        in
+        ignore (want_string e p "label");
+        let ops = want_number e p "ops" in
+        (match ops with
+        | Some o when o <= 0.0 -> err (p ^ ".ops") "must be > 0"
+        | Some _ | None -> ());
+        positive e p "duration_s";
+        positive e p "throughput_ops_per_s";
+        positive e p "throughput_nocheck_ops_per_s";
+        let checked = want_number e p "checked" in
+        (match checked with
+        | Some c when c <= 0.0 -> err (p ^ ".checked") "must be > 0"
+        | Some _ | None -> ());
+        (match want_number e p "keys" with
+        | Some k when k < 1.0 -> err (p ^ ".keys") "must be >= 1"
+        | Some _ | None -> ());
+        let window = want_number e p "peak_window" in
+        (match window with
+        | Some w when w < 1.0 ->
+          err (p ^ ".peak_window")
+            "must be >= 1 (the checker always holds the in-flight window)"
+        | Some _ | None -> ());
+        positive e p "checker_ops_per_s";
+        positive e p "batches";
+        let violations = want_number e p "violations" in
+        (match violations with
+        | Some v when v < 0.0 -> err (p ^ ".violations") "must be >= 0"
+        | Some _ | None -> ());
+        (match
+           ( want_bool_value e p "atomic",
+             want_bool_value e p "expected_atomic",
+             violations )
+         with
+        | Some false, Some true, _ ->
+          err p
+            "live checker reported a violation in a regime where the \
+             theory promises atomicity"
+        | Some true, _, Some v when v > 0.0 ->
+          err p "atomic=true is inconsistent with violations > 0"
+        | (Some _ | None), (Some _ | None), (Some _ | None) -> ());
+        match[@warning "-4"] (plane, ops, checked, window) with
+        | Some pl, Some o, Some c, Some w -> rows := (pl, o, c, w) :: !rows
+        | _ -> ())
+      entries;
+    let rows = !rows in
+    (* Both recording planes must ride: the sink wires into the
+       session runner and the KV driver alike. *)
+    List.iter
+      (fun pl ->
+        if not (List.exists (fun (pl', _, _, _) -> pl' = pl) rows) then
+          err path (Printf.sprintf "missing soak row for plane %S" pl))
+      [ "kv"; "session" ];
+    (* The stream must be fully covered: the checker sees at least
+       every completed operation (aborted clients may add a pending
+       one on top). *)
+    List.iteri
+      (fun i (_, o, c, _) ->
+        if c < o then
+          err
+            (Printf.sprintf "%s[%d]" path i)
+            "checked below completed ops: the live checker missed part \
+             of the stream")
+      (List.rev rows);
+    if require_knee then begin
+      let headline =
+        List.exists
+          (fun (_, o, c, w) -> o >= 1_000_000.0 && c >= o && w <= o /. 10.0)
+          rows
+      in
+      if not headline then
+        err path
+          "no row with ops >= 1e6, full stream coverage, and peak_window \
+           <= ops/10 — the million-op live-checked soak is the headline \
+           claim of this section"
+    end
+  | Null | Bool _ | Num _ | Str _ | Obj _ -> err path "expected an array"
+
 (* The chaos section carries semantics, not just shape: the soak's
    verdicts must match the theory (atomic wherever the design point is
    possible) and the restart-fidelity script must show both halves of
@@ -721,11 +823,12 @@ let () =
   section "live" check_live;
   section "live_scaling" (check_scaling ~require_knee:!require_knee);
   section "kv_scaling" (check_kv_scaling ~require_knee:!require_knee);
+  section "soak" (check_soak ~require_knee:!require_knee);
   section "chaos" check_chaos;
   if !optional = 0 then
     err "$"
       "no result section present (wall_clock / micro_ns_per_run / live / \
-       live_scaling / kv_scaling / chaos)";
+       live_scaling / kv_scaling / soak / chaos)";
   match List.rev !errors with
   | [] ->
     Printf.printf "%s: schema OK (%d section(s))\n" path !optional;

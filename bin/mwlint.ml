@@ -1,17 +1,21 @@
 (* mwlint: the repo's AST-driven concurrency & I/O-discipline lint.
 
-     mwlint [--baseline FILE] [--rules] DIR_OR_FILE...
+     mwlint [--baseline FILE] [--fail-stale] [--rules] DIR_OR_FILE...
 
    Parses every .ml under the given roots (default: lib bin bench test)
    into a Parsetree, runs the rule engine (see lib/analysis/RULES.md),
    subtracts the checked-in baseline, and exits non-zero on any new
-   finding.  Exit codes: 0 clean, 1 new findings, 2 usage / parse /
-   baseline errors. *)
+   finding.  With [--fail-stale], a baseline entry that no longer
+   matches any finding is an error rather than a warning — CI uses it
+   to force the suppression file to shrink as debt is paid off.  Exit
+   codes: 0 clean, 1 new findings (or stale entries under
+   [--fail-stale]), 2 usage / parse / baseline errors. *)
 
-let usage = "mwlint [--baseline FILE] [--rules] [DIR_OR_FILE...]"
+let usage = "mwlint [--baseline FILE] [--fail-stale] [--rules] [DIR_OR_FILE...]"
 
 let () =
   let baseline_path = ref "" in
+  let fail_stale = ref false in
   let list_rules = ref false in
   let roots = ref [] in
   Arg.parse
@@ -19,6 +23,9 @@ let () =
       ( "--baseline",
         Arg.Set_string baseline_path,
         "FILE checked-in suppression file (RULE file:line justification)" );
+      ( "--fail-stale",
+        Arg.Set fail_stale,
+        " treat stale baseline entries as errors (exit 1)" );
       ("--rules", Arg.Set list_rules, " list the rule catalog and exit");
     ]
     (fun root -> roots := root :: !roots)
@@ -62,8 +69,9 @@ let () =
   List.iter
     (fun e ->
       Printf.eprintf
-        "mwlint: warning: stale baseline entry %s %s:%d (no such finding \
+        "mwlint: %s: stale baseline entry %s %s:%d (no such finding \
          anymore — delete it)\n"
+        (if !fail_stale then "error" else "warning")
         e.Analysis.Baseline.rule e.Analysis.Baseline.file
         e.Analysis.Baseline.line)
     stale;
@@ -71,4 +79,4 @@ let () =
   let suppressed = List.length findings - List.length fresh in
   Printf.printf "mwlint: %d file(s), %d finding(s), %d suppressed\n"
     (List.length files) (List.length fresh) suppressed;
-  if fresh <> [] then exit 1
+  if fresh <> [] || (!fail_stale && stale <> []) then exit 1

@@ -480,11 +480,53 @@ let pp_ms ppf (st : Stats.summary) =
     (1e3 *. st.Stats.mean) (1e3 *. st.Stats.p50) (1e3 *. st.Stats.p95)
     (1e3 *. st.Stats.p99) (1e3 *. st.Stats.max)
 
+(* --check live|batch|off, shared by live / kv / chaos. *)
+let parse_check_mode = function
+  | "batch" -> Ok `Batch
+  | "live" -> Ok `Live
+  | "off" -> Ok `Off
+  | other ->
+    Error (Printf.sprintf "unknown check mode %S (live|batch|off)" other)
+
+let check_mode_arg =
+  Arg.(value & opt string "batch"
+       & info [ "check" ] ~docv:"MODE"
+           ~doc:"Atomicity checking: $(b,batch) checks the recorded \
+                 history after the run (the default), $(b,live) streams \
+                 every completed operation through the online checker \
+                 while the run is in flight — O(window) memory, \
+                 violations reported the moment a verdict turns — and \
+                 $(b,off) disables checking.")
+
+(* Mid-run hook: a verdict turning is worth a line the moment it
+   happens, not minutes later when the run drains. *)
+let announce_violation key w =
+  Format.printf "live check  : key %s VIOLATED mid-run: %a@." key Witness.pp w
+
+(* Prints the streaming checker's report; returns whether every key
+   stayed atomic. *)
+let report_online (r : Live.Check_sink.report) =
+  Format.printf
+    "live check  : %d op(s) over %d key(s); peak window %d resident op(s)@."
+    r.Live.Check_sink.checked r.Live.Check_sink.keys
+    r.Live.Check_sink.peak_window;
+  Format.printf
+    "              %.0f ops/s through the checker (%.3fs busy, %d batches)@."
+    r.Live.Check_sink.checker_ops_per_sec r.Live.Check_sink.busy
+    r.Live.Check_sink.batches;
+  List.iter
+    (fun (key, w) ->
+      Format.printf "  key %-12s VIOLATED %a@." key Witness.pp w)
+    r.Live.Check_sink.violations;
+  Live.Check_sink.atomic r
+
 (* One protocol against one (fresh or attached) cluster.  Returns true
    when the recorded history is atomic. *)
-let live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout =
+let live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout ~check =
   let res =
-    Live.Session.run ~kill_at ~transport ~rt_timeout ~register ~cluster spec
+    Live.Session.run ~kill_at ~transport ~rt_timeout
+      ~live_check:(check = `Live) ~on_violation:announce_violation ~register
+      ~cluster spec
   in
   let h = res.Live.Session.history in
   let ops = History.length h in
@@ -510,19 +552,37 @@ let live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout =
     Format.printf "starved     : %d client(s) gave up without a quorum@."
       res.Live.Session.unavailable;
   let ok =
-    match Atomicity.check h with
-    | Ok () ->
-      Format.printf "atomicity   : OK@.";
+    match (check, res.Live.Session.online) with
+    | `Off, _ ->
+      Format.printf "atomicity   : not checked (--check off)@.";
       true
-    | Error wit ->
-      Format.printf "atomicity   : VIOLATED %a@." Witness.pp wit;
-      false
+    | `Live, Some r ->
+      let ok = report_online r in
+      Format.printf "atomicity   : %s (streaming verdict)@."
+        (if ok then "OK" else "VIOLATED");
+      ok
+    | `Live, None -> true (* unreachable: live_check was requested *)
+    | `Batch, _ -> (
+      match Atomicity.check h with
+      | Ok () ->
+        Format.printf "atomicity   : OK@.";
+        true
+      | Error wit ->
+        Format.printf "atomicity   : VIOLATED %a@." Witness.pp wit;
+        false)
   in
   Format.printf "@.";
   ok
 
 let live protocol all s tol w r ops connect kills think transport rt_timeout
-    server_domains =
+    server_domains check =
+  let check =
+    match parse_check_mode check with
+    | Ok c -> c
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
   if server_domains < 1 then begin
     Printf.eprintf "--server-domains must be >= 1\n";
     exit 1
@@ -600,7 +660,8 @@ let live protocol all s tol w r ops connect kills think transport rt_timeout
               read_think = think;
             }
           in
-          live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout)
+          live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout
+            ~check)
     in
     let ok = List.for_all run_one registers in
     if not ok then exit 2
@@ -657,14 +718,21 @@ let live_cmd =
              recorded history for atomicity.")
     Term.(const live $ protocol_arg $ all $ s_arg $ t_arg $ w_arg $ r_arg
           $ ops $ connect $ kills $ think $ transport $ rt_timeout
-          $ server_domains)
+          $ server_domains $ check_mode_arg)
 
 (* ------------------------------------------------------------------ *)
 (* kv                                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let kv protocol groups s tol clients keys ops dist theta mix transport seed
-    sample think rt_timeout =
+    sample think rt_timeout check =
+  let check =
+    match parse_check_mode check with
+    | Ok c -> c
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
   let register =
     match find_protocol protocol with
     | Some r -> Ok r
@@ -698,7 +766,9 @@ let kv protocol groups s tol clients keys ops dist theta mix transport seed
       ~finally:(fun () -> Kv.Cluster.shutdown cluster)
       (fun () ->
         let res =
-          Kv.Session.run ~transport ~rt_timeout ~register ~cluster
+          Kv.Session.run ~transport ~rt_timeout ~register
+            ~live_check:(check = `Live) ~on_violation:announce_violation
+            ~cluster
             {
               Kv.Session.clients;
               ops_per_client = ops;
@@ -733,15 +803,24 @@ let kv protocol groups s tol clients keys ops dist theta mix transport seed
         if res.Kv.Session.starved > 0 || res.Kv.Session.dropped > 0 then
           Printf.printf "  starved clients %d, dropped replies %d\n"
             res.Kv.Session.starved res.Kv.Session.dropped;
-        Printf.printf "  sampled-key verdicts:\n";
         let all_atomic =
-          List.for_all
-            (fun v ->
-              Printf.printf "    %-14s %4d ops  %s\n" v.Kv.Session.vkey
-                v.Kv.Session.vops
-                (if v.Kv.Session.atomic then "atomic" else "NOT ATOMIC");
-              v.Kv.Session.atomic)
-            res.Kv.Session.verdicts
+          match (check, res.Kv.Session.online) with
+          | `Off, _ ->
+            Printf.printf "  atomicity: not checked (--check off)\n";
+            true
+          | `Live, Some r ->
+            flush stdout;
+            report_online r
+          | `Live, None -> true (* unreachable: live_check was requested *)
+          | `Batch, _ ->
+            Printf.printf "  sampled-key verdicts:\n";
+            List.for_all
+              (fun v ->
+                Printf.printf "    %-14s %4d ops  %s\n" v.Kv.Session.vkey
+                  v.Kv.Session.vops
+                  (if v.Kv.Session.atomic then "atomic" else "NOT ATOMIC");
+                v.Kv.Session.atomic)
+              res.Kv.Session.verdicts
         in
         if not all_atomic then exit 2)
 
@@ -811,18 +890,25 @@ let kv_cmd =
              keyspace and atomicity-check the sampled keys.")
     Term.(const kv $ protocol $ groups $ s_arg $ t_arg $ clients $ keys
           $ ops $ dist $ theta $ mix $ transport $ seed_arg $ sample $ think
-          $ rt_timeout)
+          $ rt_timeout $ check_mode_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let chaos protocol scenario transport seed drop delay duplicate ops s tol
-    server_domains =
+    server_domains check =
   if server_domains < 1 then begin
     Printf.eprintf "--server-domains must be >= 1\n";
     exit 1
   end;
+  let check =
+    match parse_check_mode check with
+    | Ok c -> c
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
   let transport =
     match transport with
     | "mux" -> Ok `Mux
@@ -841,7 +927,8 @@ let chaos protocol scenario transport seed drop delay duplicate ops s tol
     | Some register ->
       let sk =
         Live.Chaos.soak ~transport ~seed ~drop ~delay ~duplicate ~s ~tol ~ops
-          ~server_shards:server_domains ~register ()
+          ~server_shards:server_domains ~live_check:(check = `Live)
+          ~on_violation:announce_violation ~register ()
       in
       let res = sk.Live.Chaos.result in
       Format.printf "protocol    : %s@." (Registry.name register);
@@ -861,12 +948,27 @@ let chaos protocol scenario transport seed drop delay duplicate ops s tol
       if res.Live.Session.unavailable > 0 then
         Format.printf "starved     : %d client(s) gave up without a quorum@."
           res.Live.Session.unavailable;
-      Format.printf "atomicity   : %s (theory: %s)@."
-        (if sk.Live.Chaos.atomic then "OK" else "VIOLATED")
+      let atomic =
+        match (check, res.Live.Session.online) with
+        | `Off, _ ->
+          Format.printf "atomicity   : not checked (--check off)@.";
+          true
+        | `Live, Some r ->
+          let ok = report_online r in
+          Format.printf "atomicity   : %s (streaming verdict)@."
+            (if ok then "OK" else "VIOLATED");
+          ok
+        | `Live, None -> true (* unreachable: live_check was requested *)
+        | `Batch, _ ->
+          Format.printf "atomicity   : %s@."
+            (if sk.Live.Chaos.atomic then "OK" else "VIOLATED");
+          sk.Live.Chaos.atomic
+      in
+      Format.printf "theory      : %s@."
         (if sk.Live.Chaos.expected_atomic then
            "possible regime — chaos must not break it"
          else "impossible regime — no guarantee");
-      if sk.Live.Chaos.expected_atomic && not sk.Live.Chaos.atomic then exit 2)
+      if sk.Live.Chaos.expected_atomic && not atomic then exit 2)
   | (("recover" | "fresh") as m), Ok transport ->
     let mode = if m = "recover" then `Recover else `Fresh in
     let o =
@@ -946,7 +1048,8 @@ let chaos_cmd =
              duplicates, truncations, server restarts) into a live cluster \
              and check the recorded history for atomicity.")
     Term.(const chaos $ protocol_arg $ scenario $ transport $ seed_arg $ drop
-          $ delay $ duplicate $ ops $ s_arg $ t_arg $ server_domains)
+          $ delay $ duplicate $ ops $ s_arg $ t_arg $ server_domains
+          $ check_mode_arg)
 
 (* ------------------------------------------------------------------ *)
 

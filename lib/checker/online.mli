@@ -1,0 +1,99 @@
+(** Streaming atomicity checker: {!Atomicity}'s verdicts over a stream
+    of completed operations, with O(window) resident memory.
+
+    The batch checker holds the whole history; at soak scale that is
+    the memory and wall-clock bottleneck.  This checker consumes each
+    operation once, keeps only the {e interval-order window} —
+    operations that can still participate in a violation together with
+    a future operation — and garbage-collects everything older, folding
+    retired obligations into the survivors.
+
+    {2 Feed contract}
+
+    - Written values are globally unique and never
+      {!Histories.History.initial_value} ([Invalid_argument] otherwise,
+      mirroring the batch checker's precondition).
+    - Each process feeds its operations in program order; processes may
+      interleave arbitrarily.
+    - Every operation fed after [advance ~watermark:w] invokes at or
+      after [w].  The sinks derive [w] as the minimum invocation time
+      over in-flight operations (each producer publishes its current
+      in-flight invocation), so the contract holds by construction.
+
+    {2 Window-GC rule}
+
+    With watermark [W]: a read retires once its response time is below
+    [W]; a write [w] retires once [resp w < W] {e and} some other write
+    [w'] with [inv w' > resp w] has [resp w' < W] (a settled
+    superseding write), because any later read of [w]'s value is
+    necessarily stale and is reported on sight.  A retiring write folds
+    its obligations into surviving predecessors (a [blocked_after]
+    bound and shortcut edges), so ordering cycles through retired
+    operations are still detected.
+
+    On a fully-fed stream with no [advance] calls, [finalize] returns
+    exactly the batch checker's verdict, with witnesses of the same
+    kinds; after GC, verdicts still agree and witnesses remain valid,
+    but a violation against a retired write is reported as a
+    {!Witness.Property} witness naming the offending read. *)
+
+open Histories
+
+type t
+
+val create : unit -> t
+(** A fresh checker holding only the virtual initial write. *)
+
+val feed : t -> Op.t -> unit
+(** Consume one operation.  Reads without a response are ignored (they
+    impose no obligation); writes without a response participate as
+    writes that may take effect, exactly as in the batch checker.  A
+    read whose value has no resident write parks until the write
+    arrives (it was still in flight) or the watermark proves it can
+    never resolve.  After the first violation the stream is only
+    counted, not analysed. *)
+
+val advance : t -> watermark:float -> unit
+(** Raise the watermark (monotonic; lower values are ignored), flag
+    parked reads that can no longer resolve, garbage-collect the
+    window, and run the cycle pass over any new edges. *)
+
+val finalize : t -> (unit, Witness.t) result
+(** End of stream: remaining parked reads become
+    {!Witness.Unwritten_value} witnesses, a final cycle pass runs, and
+    the verdict is returned. *)
+
+val verdict : t -> (unit, Witness.t) result
+(** The verdict so far, without ending the stream. *)
+
+val resident : t -> int
+(** Operations currently held (window writes + window reads + parked). *)
+
+val peak_resident : t -> int
+(** High-water mark of {!resident} — the number the soak benchmarks
+    record as the checker's peak window. *)
+
+val ops_seen : t -> int
+
+(** Per-key multiplexing for the sharded KV plane: one instance per
+    key, created on first touch, advancing under one shared watermark. *)
+module Keyed : sig
+  type nonrec t
+
+  val create : ?on_violation:(string -> Witness.t -> unit) -> unit -> t
+  (** [on_violation] fires once per key, when that key's verdict first
+      turns — the near-real-time hook the sinks use to surface
+      violations mid-run. *)
+
+  val feed : t -> key:string -> Op.t -> unit
+  val advance : t -> watermark:float -> unit
+
+  val finalize : t -> (string * (unit, Witness.t) result) list
+  (** Per-key verdicts, sorted by key. *)
+
+  val resident : t -> int
+  val peak_resident : t -> int
+  val ops_seen : t -> int
+  val violations : t -> (string * Witness.t) list
+  val keys : t -> int
+end

@@ -39,6 +39,7 @@ module Consistency = Checker.Consistency
 module Mw_properties = Checker.Mw_properties
 module Staleness = Checker.Staleness
 module Interval = Checker.Interval
+module Online = Checker.Online
 
 module Quorum = Quorums.Quorum
 module Coterie = Quorums.Coterie
@@ -78,6 +79,7 @@ module Live = struct
   module Endpoint = Transport.Endpoint
   module Cluster = Transport.Cluster
   module Session = Transport.Session
+  module Check_sink = Transport.Check_sink
   module Faults = Transport.Faults
   module Chaos = Transport.Chaos
 end

@@ -14,10 +14,17 @@ type t = {
   mutable next_value : int;
   mutable entries : pending list; (* newest first *)
   mutable n_completed : int;
+  on_complete : Op.t -> unit;
 }
 
-let create () =
-  { next_id = 0; next_value = History.initial_value + 1; entries = []; n_completed = 0 }
+let create ?(on_complete = fun (_ : Op.t) -> ()) () =
+  {
+    next_id = 0;
+    next_value = History.initial_value + 1;
+    entries = [];
+    n_completed = 0;
+    on_complete;
+  }
 
 let begin_op t ~proc ~kind ~now =
   let p = { id = t.next_id; proc; kind; inv = now; resp = None; result = None } in
@@ -29,27 +36,29 @@ let begin_write t ~proc ~value ~now = begin_op t ~proc ~kind:(Op.Write value) ~n
 
 let begin_read t ~proc ~now = begin_op t ~proc ~kind:Op.Read ~now
 
+let op_of (p : pending) : Op.t =
+  { Op.id = p.id; proc = p.proc; kind = p.kind; inv = p.inv; resp = p.resp;
+    result = p.result }
+
 let finish_write t h ~now =
   assert (h.resp = None);
   h.resp <- Some now;
-  t.n_completed <- t.n_completed + 1
+  t.n_completed <- t.n_completed + 1;
+  t.on_complete (op_of h)
 
 let finish_read t h ~now ~result =
   assert (h.resp = None);
   h.resp <- Some now;
   h.result <- Some result;
-  t.n_completed <- t.n_completed + 1
+  t.n_completed <- t.n_completed + 1;
+  t.on_complete (op_of h)
 
 let fresh_value t =
   let v = t.next_value in
   t.next_value <- v + 1;
   v
 
-let snapshot t =
-  let to_op (p : pending) : Op.t =
-    { Op.id = p.id; proc = p.proc; kind = p.kind; inv = p.inv; resp = p.resp; result = p.result }
-  in
-  History.of_ops (List.rev_map to_op t.entries)
+let snapshot t = History.of_ops (List.rev_map op_of t.entries)
 
 let completed t = t.n_completed
 

@@ -13,7 +13,11 @@ type handle
 val handle_id : handle -> int
 (** The operation id this handle will carry in the final history. *)
 
-val create : unit -> t
+val create : ?on_complete:(Op.t -> unit) -> unit -> t
+(** [on_complete] fires with the finished operation on every
+    [finish_*], in completion order — the wiring point for streaming
+    consumers such as {!Checker.Online} (the recorder itself stays
+    checker-agnostic). *)
 
 val begin_write : t -> proc:Op.proc -> value:int -> now:float -> handle
 val begin_read : t -> proc:Op.proc -> now:float -> handle

@@ -7,10 +7,12 @@ open Workload
 (* The YCSB-shaped closed-loop driver over a sharded keyspace: one OS
    thread per client, each drawing keys and operation kinds from its own
    seeded generator, running the chosen registry protocol per key
-   through the placement router.  Latencies are recorded for every
-   operation; full operation histories only for a small sampled key set,
-   so the checker can pass per-key atomicity verdicts without the driver
-   holding millions of operations in memory. *)
+   through the placement router.  Every operation's latency lands in a
+   constant-memory histogram; full operation histories are kept only
+   for a small sampled key set, so the batch checker can pass per-key
+   verdicts without the driver holding millions of operations — and
+   with [live_check] the streaming checker covers every key in O(window)
+   memory on top. *)
 
 type spec = {
   clients : int;
@@ -56,6 +58,7 @@ type result = {
   dropped : int;
   group_ops : int array; (* operations routed to each shard group *)
   keys_touched : int;
+  online : Check_sink.report option;
 }
 
 (* One sampled operation: same shape as the session runner's private
@@ -91,8 +94,19 @@ let history_of_key records =
   in
   History.of_ops (List.mapi (fun id (o : Op.t) -> { o with Op.id }) ops)
 
+let op_of_sop client s =
+  {
+    Op.id = 0;
+    proc = (if s.s_reader then Op.Reader client else Op.Writer client);
+    kind = s.s_kind;
+    inv = s.s_inv;
+    resp = s.s_resp;
+    result = s.s_result;
+  }
+
 let run ?(transport = `Mux) ?rt_timeout ?max_rt_retries
-    ?(register = Registry.abd_mwmr) ~cluster spec =
+    ?(register = Registry.abd_mwmr) ?(live_check = false) ?on_violation
+    ~cluster spec =
   if spec.clients < 1 then invalid_arg "Kv_session.run: clients must be >= 1";
   if spec.keys < 1 then invalid_arg "Kv_session.run: keys must be >= 1";
   (match Registry.max_writers register with
@@ -113,10 +127,21 @@ let run ?(transport = `Mux) ?rt_timeout ?max_rt_retries
     Hashtbl.replace sampled (Ycsb.key_name rank) ()
   done;
   let ngroups = Kv_cluster.group_count cluster in
+  (* Live checking covers every key, not just the sampled ranks: the
+     streaming checker's window stays bounded regardless of how many
+     operations flow, so there is no need to down-sample. *)
+  let sink =
+    if live_check then Some (Check_sink.create ?on_violation ~now:Clock.now ())
+    else None
+  in
+  let ports = Array.init spec.clients (fun _ -> Option.map Check_sink.port sink) in
   (* Per-thread result slots — no cross-thread mutation, no locks.  All
      timestamps are monotonic ({!Clock.now}), one clock for every
      thread, so the merged per-key histories order correctly. *)
-  let lat_logs = Array.make spec.clients [] in
+  (* Per-thread constant-memory histograms instead of per-op lists:
+     the million-op soak records every latency in ~5KB per series. *)
+  let read_hists = Array.init spec.clients (fun _ -> Stats.Hist.create ()) in
+  let write_hists = Array.init spec.clients (fun _ -> Stats.Hist.create ()) in
   let sample_logs = Array.make spec.clients [] in
   let group_ops = Array.init spec.clients (fun _ -> Array.make ngroups 0) in
   let touched = Array.init spec.clients (fun _ -> Hashtbl.create 64) in
@@ -151,7 +176,16 @@ let run ?(transport = `Mux) ?rt_timeout ?max_rt_retries
         Hashtbl.replace readers key r;
         r
     in
-    let lats = ref [] in
+    let port = ports.(i) in
+    let invoke () =
+      match port with Some p -> Check_sink.invoked p | None -> Clock.now ()
+    in
+    let publish key s =
+      match port with
+      | Some p -> Check_sink.completed p ~key (op_of_sop i s)
+      | None -> ()
+    in
+    let current = ref None in
     let slog = ref [] in
     (try
        for n = 0 to spec.ops_per_client - 1 do
@@ -161,12 +195,15 @@ let run ?(transport = `Mux) ?rt_timeout ?max_rt_retries
          let g = Kv_cluster.group_of cluster key in
          group_ops.(i).(g) <- group_ops.(i).(g) + 1;
          let is_sampled = Hashtbl.mem sampled key in
-         let record s = if is_sampled then slog := (key, s) :: !slog in
+         let record s =
+           if is_sampled then slog := (key, s) :: !slog;
+           current := Some (key, s)
+         in
          (match Ycsb.next_op spec.mix rng with
          | `Write ->
            let write = writer_for key in
            let value = value_base + (i * spec.ops_per_client) + n in
-           let t0 = Clock.now () in
+           let t0 = invoke () in
            let s =
              {
                s_kind = Op.Write value;
@@ -180,11 +217,12 @@ let run ?(transport = `Mux) ?rt_timeout ?max_rt_retries
            write ~payload:value ~k:(fun _tag ->
                let t1 = Clock.now () in
                s.s_resp <- Some t1;
-               lats := (false, t1 -. t0) :: !lats;
-               completed.(i) <- completed.(i) + 1)
+               Stats.Hist.add write_hists.(i) (t1 -. t0);
+               completed.(i) <- completed.(i) + 1);
+           publish key s
          | `Read ->
            let read = reader_for key in
-           let t0 = Clock.now () in
+           let t0 = invoke () in
            let s =
              {
                s_kind = Op.Read;
@@ -199,35 +237,45 @@ let run ?(transport = `Mux) ?rt_timeout ?max_rt_retries
                let t1 = Clock.now () in
                s.s_resp <- Some t1;
                s.s_result <- Some value;
-               lats := (true, t1 -. t0) :: !lats;
-               completed.(i) <- completed.(i) + 1));
+               Stats.Hist.add read_hists.(i) (t1 -. t0);
+               completed.(i) <- completed.(i) + 1);
+           publish key s);
          if spec.think > 0.0 then Thread.delay spec.think
        done
-     with Endpoint.Unavailable _ -> starved.(i) <- true);
-    lat_logs.(i) <- !lats;
+     with Endpoint.Unavailable _ ->
+       starved.(i) <- true;
+       (* Keep the aborted operation visible to the checker as
+          pending — an interrupted write may have taken effect at a
+          quorum minority. *)
+       (match !current with
+       | Some (key, s) when s.s_resp = None -> publish key s
+       | _ -> ()));
     sample_logs.(i) <- !slog;
     late_counts.(i) <- Router.late_replies cl;
     retry_counts.(i) <- Router.retries cl;
     Router.close_client cl
   in
+  Option.iter Check_sink.start sink;
   let t0 = Clock.now () in
   let threads =
     List.init spec.clients (fun i -> Thread.create (body i) ())
   in
   List.iter Thread.join threads;
   let duration = Clock.now () -. t0 in
+  let online = Option.map Check_sink.stop sink in
   let dropped = Router.dropped_replies router in
   Router.shutdown router;
-  (* Aggregate. *)
-  let all = Array.to_list lat_logs |> List.concat in
-  let all_lat = Stats.of_latencies (List.map snd all) in
-  let read_lat =
-    Stats.of_latencies (List.filter_map (fun (r, l) -> if r then Some l else None) all)
-  in
-  let write_lat =
-    Stats.of_latencies
-      (List.filter_map (fun (r, l) -> if r then None else Some l) all)
-  in
+  (* Aggregate the per-thread histograms. *)
+  let read_h = Stats.Hist.create () in
+  let write_h = Stats.Hist.create () in
+  Array.iter (fun h -> Stats.Hist.merge ~into:read_h h) read_hists;
+  Array.iter (fun h -> Stats.Hist.merge ~into:write_h h) write_hists;
+  let all_h = Stats.Hist.create () in
+  Stats.Hist.merge ~into:all_h read_h;
+  Stats.Hist.merge ~into:all_h write_h;
+  let all_lat = Stats.Hist.summary all_h in
+  let read_lat = Stats.Hist.summary read_h in
+  let write_lat = Stats.Hist.summary write_h in
   let ops = Array.fold_left ( + ) 0 completed in
   let verdicts =
     List.init nsample (fun rank ->
@@ -273,4 +321,5 @@ let run ?(transport = `Mux) ?rt_timeout ?max_rt_retries
     dropped;
     group_ops = group_totals;
     keys_touched = Hashtbl.length distinct;
+    online;
   }

@@ -42,6 +42,9 @@ type result = {
   dropped : int;  (** mux demux drops (unknown client / stale key) *)
   group_ops : int array;  (** operations routed to each shard group *)
   keys_touched : int;  (** distinct keys operated on *)
+  online : Transport.Check_sink.report option;
+      (** Streaming checker report when the run had
+          [~live_check:true]; [None] otherwise. *)
 }
 
 val run :
@@ -49,6 +52,8 @@ val run :
   ?rt_timeout:float ->
   ?max_rt_retries:int ->
   ?register:Protocol.Register_intf.t ->
+  ?live_check:bool ->
+  ?on_violation:(string -> Checker.Witness.t -> unit) ->
   cluster:Kv_cluster.t ->
   spec ->
   result
@@ -57,4 +62,10 @@ val run :
     [register] defaults to the multi-writer ABD descendant
     ({!Registers.Registry.abd_mwmr}); protocols with a writer bound
     (e.g. single-writer naive registers) are rejected unless the mix is
-    read-only.  Raises [Invalid_argument] on bad specs. *)
+    read-only.  [live_check] streams {e every} key's completed
+    operations through a {!Transport.Check_sink} into the
+    {!Checker.Online} checker while the run is in flight — the
+    checker's window stays bounded, so unlike the sampled batch path
+    this covers the whole keyspace; violations surface through
+    [on_violation] as they happen and the report lands in
+    [result.online].  Raises [Invalid_argument] on bad specs. *)

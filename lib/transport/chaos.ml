@@ -31,7 +31,7 @@ type soak = {
 
 let soak ?(transport = `Mux) ?(seed = 0) ?(drop = 0.08) ?(delay = 0.03)
     ?(duplicate = 0.1) ?(s = 5) ?(tol = 1) ?(ops = 8) ?(restart = true)
-    ?(server_shards = 1) ~register () =
+    ?(server_shards = 1) ?live_check ?on_violation ~register () =
   let faults = plan ~seed ~drop ~delay ~duplicate () in
   let cluster = Cluster.start ~faults ~shards:server_shards ~s ~tol () in
   Fun.protect
@@ -60,7 +60,7 @@ let soak ?(transport = `Mux) ?(seed = 0) ?(drop = 0.08) ?(delay = 0.03)
          whole rt_timeout × budget window stays unlucky. *)
       let result =
         Session.run ~kill_at ~restart_at ~faults ~transport ~rt_timeout:0.3
-          ~max_rt_retries:10 ~register ~cluster spec
+          ~max_rt_retries:10 ?live_check ?on_violation ~register ~cluster spec
       in
       let expected_atomic =
         Quorums.Bounds.possible

@@ -50,6 +50,8 @@ val soak :
   ?ops:int ->
   ?restart:bool ->
   ?server_shards:int ->
+  ?live_check:bool ->
+  ?on_violation:(string -> Checker.Witness.t -> unit) ->
   register:Protocol.Register_intf.t ->
   unit ->
   soak
@@ -61,7 +63,10 @@ val soak :
     0.45s — so the soak also exercises {!Cluster.restart} under load.
     [server_shards] (default 1) runs every server with that many
     reactor event loops ({!Cluster.start}), putting the fault timers
-    and the restart path under a sharded reactor too. *)
+    and the restart path under a sharded reactor too.  [live_check]
+    and [on_violation] forward to {!Session.run} — the streaming
+    checker then rides the whole storm, report in
+    [result.Session.online]. *)
 
 type restart_outcome = {
   mode : Cluster.restart_mode;

@@ -29,6 +29,7 @@ type result = {
   retries : int;
   unavailable : int;
   killed : int list;
+  online : Check_sink.report option;
 }
 
 (* One client's private operation log.  Clients record invocations and
@@ -88,8 +89,22 @@ let mean_rounds logs =
     logs;
   if !ops = 0 then 0.0 else float_of_int !rounds /. float_of_int !ops
 
+(* The single live register checks under one key. *)
+let live_key = "r"
+
+let op_of proc l =
+  {
+    Op.id = 0;
+    proc;
+    kind = l.l_kind;
+    inv = l.l_inv;
+    resp = l.l_resp;
+    result = l.l_result;
+  }
+
 let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
-    ?max_rt_retries ~register ~cluster spec =
+    ?max_rt_retries ?(live_check = false) ?on_violation ~register ~cluster
+    spec =
   (match Registry.max_writers register with
   | Some m when spec.writers > m ->
     invalid_arg
@@ -105,6 +120,13 @@ let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
   Option.iter Faults.arm faults;
   let t0 = Unix.gettimeofday () in
   let now () = Unix.gettimeofday () -. t0 in
+  let sink =
+    if live_check then Some (Check_sink.create ?on_violation ~now ())
+    else None
+  in
+  let port_for _ = Option.map Check_sink.port sink in
+  let wports = Array.init spec.writers port_for in
+  let rports = Array.init spec.readers port_for in
   (* Per-thread result slots — no cross-thread mutation, no locks. *)
   let writer_logs = Array.make spec.writers [] in
   let reader_logs = Array.make spec.readers [] in
@@ -119,6 +141,15 @@ let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
   let writer_body i () =
     let ep = cl.Cluster.writer_eps.(i) in
     let write = algo.Client_core.new_writer cl.Cluster.ctx ~writer:i in
+    let port = wports.(i) in
+    let invoke () =
+      match port with Some p -> Check_sink.invoked p | None -> now ()
+    in
+    let publish l =
+      match port with
+      | Some p -> Check_sink.completed p ~key:live_key (op_of (Op.Writer i) l)
+      | None -> ()
+    in
     let log = ref [] in
     (try
        for n = 0 to spec.writes_per_writer - 1 do
@@ -127,7 +158,7 @@ let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
          let l =
            {
              l_kind = Op.Write value;
-             l_inv = now ();
+             l_inv = invoke ();
              l_resp = None;
              l_result = None;
              l_rounds = 0;
@@ -137,15 +168,31 @@ let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
          write ~payload:value ~k:(fun _tag ->
              l.l_resp <- Some (now ());
              l.l_rounds <- Endpoint.rounds_completed ep - r0);
+         publish l;
          if spec.write_think > 0.0 then Thread.delay spec.write_think
        done
-     with Endpoint.Unavailable _ -> writer_starved.(i) <- true);
+     with Endpoint.Unavailable _ ->
+       writer_starved.(i) <- true;
+       (* The aborted write stays visible to the checker as pending —
+          it may have taken effect at a quorum minority. *)
+       (match !log with
+       | l :: _ when l.l_resp = None -> publish l
+       | _ -> ()));
     writer_logs.(i) <- !log;
     Endpoint.close ep
   in
   let reader_body j () =
     let ep = cl.Cluster.reader_eps.(j) in
     let read = algo.Client_core.new_reader cl.Cluster.ctx ~reader:j in
+    let port = rports.(j) in
+    let invoke () =
+      match port with Some p -> Check_sink.invoked p | None -> now ()
+    in
+    let publish l =
+      match port with
+      | Some p -> Check_sink.completed p ~key:live_key (op_of (Op.Reader j) l)
+      | None -> ()
+    in
     let log = ref [] in
     (try
        for _ = 1 to spec.reads_per_reader do
@@ -153,7 +200,7 @@ let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
          let l =
            {
              l_kind = Op.Read;
-             l_inv = now ();
+             l_inv = invoke ();
              l_resp = None;
              l_result = None;
              l_rounds = 0;
@@ -164,9 +211,14 @@ let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
              l.l_resp <- Some (now ());
              l.l_result <- Some value;
              l.l_rounds <- Endpoint.rounds_completed ep - r0);
+         publish l;
          if spec.read_think > 0.0 then Thread.delay spec.read_think
        done
-     with Endpoint.Unavailable _ -> reader_starved.(j) <- true);
+     with Endpoint.Unavailable _ ->
+       reader_starved.(j) <- true;
+       (match !log with
+       | l :: _ when l.l_resp = None -> publish l
+       | _ -> ()));
     reader_logs.(j) <- !log;
     Endpoint.close ep
   in
@@ -197,6 +249,7 @@ let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
                events)
            ())
   in
+  Option.iter Check_sink.start sink;
   let threads =
     List.init spec.writers (fun i -> Thread.create (writer_body i) ())
     @ List.init spec.readers (fun j -> Thread.create (reader_body j) ())
@@ -204,6 +257,7 @@ let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
   List.iter Thread.join threads;
   (match killer with Some th -> Thread.join th | None -> ());
   let duration = now () in
+  let online = Option.map Check_sink.stop sink in
   let all_eps = Array.append cl.Cluster.writer_eps cl.Cluster.reader_eps in
   let late =
     Array.fold_left (fun acc ep -> acc + Endpoint.late_replies ep) 0 all_eps
@@ -234,4 +288,5 @@ let run ?(kill_at = []) ?(restart_at = []) ?faults ?transport ?rt_timeout
       List.filter
         (fun i -> not (List.mem i (Cluster.running cluster)))
         (List.init (Cluster.s cluster) Fun.id);
+    online;
   }

@@ -45,6 +45,9 @@ type result = {
       (** Clients that aborted because no quorum answered (0 whenever at
           most [tol] servers were killed). *)
   killed : int list;  (** Servers down by the end of the run. *)
+  online : Check_sink.report option;
+      (** Streaming checker report when the session ran with
+          [~live_check:true]; [None] otherwise. *)
 }
 
 val run :
@@ -54,6 +57,8 @@ val run :
   ?transport:Cluster.transport ->
   ?rt_timeout:float ->
   ?max_rt_retries:int ->
+  ?live_check:bool ->
+  ?on_violation:(string -> Checker.Witness.t -> unit) ->
   register:Protocol.Register_intf.t ->
   cluster:Cluster.t ->
   spec ->
@@ -66,6 +71,11 @@ val run :
     a fault plan to every client endpoint of this session (the plan is
     {!Faults.arm}ed at session start; servers use the plan their
     cluster was started with).  [transport] picks the data plane
-    (default [`Mux], see {!Cluster.transport}).  Raises
+    (default [`Mux], see {!Cluster.transport}).  [live_check] streams
+    every completed operation through a {!Check_sink} into the
+    {!Checker.Online} checker while the run is in flight —
+    contention-free, so throughput is unaffected — surfacing
+    violations through [on_violation] as they happen and a final
+    report in [result.online].  Raises
     [Invalid_argument] if [spec] exceeds the protocol's writer bound
     ({!Registers.Registry.max_writers}). *)

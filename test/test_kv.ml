@@ -398,6 +398,42 @@ let run_small transport =
 let test_session_mux () = run_small `Mux
 let test_session_sockets () = run_small `Sockets
 
+let test_session_live_check () =
+  (* Live checking covers every key the workload touches — not just
+     the sampled ranks — with one streaming instance per key under a
+     shared watermark, and its verdicts must agree with the sampled
+     batch verdicts. *)
+  let cluster = Kv_cluster.start ~groups:2 ~s:3 ~tol:1 () in
+  Fun.protect ~finally:(fun () -> Kv_cluster.shutdown cluster) @@ fun () ->
+  let res =
+    Kv_session.run ~live_check:true ~cluster
+      {
+        Kv_session.clients = 4;
+        ops_per_client = 15;
+        keys = 40;
+        dist = Ycsb.Zipfian Ycsb.default_theta;
+        mix = Ycsb.A;
+        seed = 21;
+        sample_keys = 4;
+        think = 0.0;
+      }
+  in
+  check int "every op completed" 60 res.Kv_session.ops;
+  match res.Kv_session.online with
+  | None -> Alcotest.fail "live_check:true returned no online report"
+  | Some r ->
+    check bool "online atomic" true (Transport.Check_sink.atomic r);
+    check int "every completed op checked" 60 r.Transport.Check_sink.checked;
+    check int "all touched keys checked" res.Kv_session.keys_touched
+      r.Transport.Check_sink.keys;
+    check bool "window bounded" true
+      (r.Transport.Check_sink.peak_window <= 60);
+    List.iter
+      (fun v ->
+        if not v.Kv_session.atomic then
+          Alcotest.failf "batch disagrees on key %s" v.Kv_session.vkey)
+      res.Kv_session.verdicts
+
 let test_session_rejects_bounded_writers () =
   let cluster = Kv_cluster.start ~groups:1 ~s:3 ~tol:1 () in
   Fun.protect ~finally:(fun () -> Kv_cluster.shutdown cluster) @@ fun () ->
@@ -497,6 +533,8 @@ let () =
         [
           Alcotest.test_case "mux plane" `Quick test_session_mux;
           Alcotest.test_case "sockets plane" `Quick test_session_sockets;
+          Alcotest.test_case "live checker over all keys" `Quick
+            test_session_live_check;
           Alcotest.test_case "writer bound rejected" `Quick
             test_session_rejects_bounded_writers;
           Alcotest.test_case "recover restart keeps the keyspace" `Quick

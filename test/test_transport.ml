@@ -919,6 +919,53 @@ let test_chaos_soak transport () =
   check bool "completed writes still two rounds" true
     (sk.Chaos.result.Session.write_rounds = 2.0)
 
+let test_live_check_session () =
+  (* The streaming checker rides a healthy live session: the online
+     report must agree with the batch verdict on the merged history,
+     count every completed operation, and keep its window bounded. *)
+  let cluster = Cluster.start ~s:3 ~tol:1 () in
+  let res =
+    Fun.protect
+      ~finally:(fun () -> Cluster.shutdown cluster)
+      (fun () ->
+        Session.run ~rt_timeout:0.5 ~live_check:true
+          ~register:Registry.abd_mwmr ~cluster
+          {
+            Session.default_spec with
+            writers = 2;
+            readers = 2;
+            writes_per_writer = 15;
+            reads_per_reader = 25;
+          })
+  in
+  match res.Session.online with
+  | None -> Alcotest.fail "live_check:true returned no online report"
+  | Some r ->
+    check bool "online atomic" true (Check_sink.atomic r);
+    check bool "batch agrees" true (atomic res.Session.history);
+    check int "every completed op checked" 80 r.Check_sink.checked;
+    check int "single live key" 1 r.Check_sink.keys;
+    check bool "window bounded well below history" true
+      (r.Check_sink.peak_window > 0 && r.Check_sink.peak_window <= 80)
+
+let test_live_check_chaos transport () =
+  (* Same storm as [test_chaos_soak], with the streaming checker
+     attached: verdicts must agree and throughput accounting must not
+     lose operations (aborted in-flight ops are fed as pending). *)
+  let sk =
+    Chaos.soak ~transport ~seed:3 ~ops:6 ~live_check:true
+      ~register:Registry.abd_mwmr ()
+  in
+  check bool "regime is possible" true sk.Chaos.expected_atomic;
+  check bool "batch atomic under chaos" true sk.Chaos.atomic;
+  match sk.Chaos.result.Session.online with
+  | None -> Alcotest.fail "live_check:true returned no online report"
+  | Some r ->
+    check bool "online agrees with batch" true (Check_sink.atomic r);
+    check bool "checked the whole stream" true (r.Check_sink.checked > 0);
+    check bool "window bounded" true
+      (r.Check_sink.peak_window <= r.Check_sink.checked)
+
 let test_restart_recover transport () =
   let o = Chaos.restart_scenario ~transport ~mode:`Recover () in
   check bool "recovered restart preserves atomicity" true o.Chaos.atomic;
@@ -1012,6 +1059,10 @@ let () =
             (test_chaos_soak `Mux);
           Alcotest.test_case "soak atomic under faults (sockets)" `Quick
             (test_chaos_soak `Sockets);
+          Alcotest.test_case "live checker on healthy session" `Quick
+            test_live_check_session;
+          Alcotest.test_case "live checker rides the storm" `Quick
+            (test_live_check_chaos `Mux);
           Alcotest.test_case "restart with recovery is atomic (mux)" `Quick
             (test_restart_recover `Mux);
           Alcotest.test_case "restart with recovery is atomic (sockets)" `Quick

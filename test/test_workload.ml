@@ -12,6 +12,79 @@ let int = Alcotest.int
 (* Stats                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* The histogram trades exact percentiles for constant memory; its
+   advertised contract is count/sum/min/max exact and percentiles
+   within the bin's relative error of the exact order statistic. *)
+let hist_of lats =
+  let h = Stats.Hist.create () in
+  List.iter (Stats.Hist.add h) lats;
+  h
+
+let rel_close a b =
+  (* half bin-width each side: 10^(1/64) covers midpoint-vs-edge *)
+  a = b || abs_float (a -. b) <= 0.037 *. Float.max (abs_float a) (abs_float b)
+
+let check_hist_close name lats =
+  let exact = Stats.of_latencies lats in
+  let s = Stats.Hist.summary (hist_of lats) in
+  check int (name ^ ": count") exact.Stats.count s.Stats.count;
+  check bool (name ^ ": min") true (s.Stats.min = exact.Stats.min);
+  check bool (name ^ ": max") true (s.Stats.max = exact.Stats.max);
+  check bool (name ^ ": mean") true (rel_close s.Stats.mean exact.Stats.mean);
+  check bool (name ^ ": p50") true (rel_close s.Stats.p50 exact.Stats.p50);
+  check bool (name ^ ": p95") true (rel_close s.Stats.p95 exact.Stats.p95);
+  check bool (name ^ ": p99") true (rel_close s.Stats.p99 exact.Stats.p99)
+
+let test_hist_matches_exact () =
+  check_hist_close "uniform ms" (List.init 1000 (fun i -> 0.0001 *. float_of_int (i + 1)));
+  check_hist_close "singleton" [ 0.0042 ];
+  (* heavy tail spanning five decades *)
+  check_hist_close "decades"
+    (List.init 500 (fun i -> 1e-5 *. (1.2 ** float_of_int (i mod 60))));
+  check int "empty count" 0 (Stats.Hist.summary (Stats.Hist.create ())).Stats.count
+
+let test_hist_out_of_range () =
+  (* Below-range and above-range samples land in the edge bins but
+     keep min/max exact. *)
+  let s = Stats.Hist.summary (hist_of [ 1e-9; 5e-9; 2e4 ]) in
+  check int "count" 3 s.Stats.count;
+  check bool "min exact" true (s.Stats.min = 1e-9);
+  check bool "max exact" true (s.Stats.max = 2e4);
+  check bool "p50 clamped into range" true
+    (s.Stats.p50 >= 1e-9 && s.Stats.p50 <= 2e4)
+
+let test_hist_merge () =
+  let a = hist_of (List.init 400 (fun i -> 0.001 *. float_of_int (i + 1))) in
+  let b = hist_of (List.init 600 (fun i -> 0.001 *. float_of_int (i + 401))) in
+  Stats.Hist.merge ~into:a b;
+  let whole = List.init 1000 (fun i -> 0.001 *. float_of_int (i + 1)) in
+  let exact = Stats.of_latencies whole in
+  let s = Stats.Hist.summary a in
+  check int "merged count" 1000 (Stats.Hist.count a);
+  check bool "merged min/max" true
+    (s.Stats.min = exact.Stats.min && s.Stats.max = exact.Stats.max);
+  check bool "merged p95" true (rel_close s.Stats.p95 exact.Stats.p95)
+
+let lat_list_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map string_of_float l))
+    QCheck.Gen.(
+      list_size (1 -- 200)
+        (map (fun f -> 1e-6 +. (f *. 10.0)) (float_bound_exclusive 1.0)))
+
+let hist_summary_close_prop =
+  QCheck.Test.make ~count:500 ~name:"hist percentiles track exact stats"
+    lat_list_arb
+    (fun lats ->
+      let exact = Stats.of_latencies lats in
+      let s = Stats.Hist.summary (hist_of lats) in
+      s.Stats.count = exact.Stats.count
+      && s.Stats.min = exact.Stats.min
+      && s.Stats.max = exact.Stats.max
+      && rel_close s.Stats.p50 exact.Stats.p50
+      && rel_close s.Stats.p95 exact.Stats.p95
+      && rel_close s.Stats.p99 exact.Stats.p99)
+
 let test_stats_empty () =
   let s = Stats.of_latencies [] in
   check int "count" 0 s.Stats.count
@@ -190,6 +263,10 @@ let () =
           tc "small-n tail" test_stats_small_n_tail;
           tc "from history" test_stats_from_history;
           tc "fast read is one RTT" test_one_round_latency_halved;
+          tc "histogram matches exact stats" test_hist_matches_exact;
+          tc "histogram edge bins" test_hist_out_of_range;
+          tc "histogram merge" test_hist_merge;
+          QCheck_alcotest.to_alcotest hist_summary_close_prop;
         ] );
       ( "adversary",
         [
