@@ -780,6 +780,115 @@ let check_chaos path = function
     | None -> err path "missing key \"restart\"")
   | Null | Bool _ | Num _ | Str _ | List _ -> err path "expected an object"
 
+(* The geo section is the WAN/geo acceptance grid: every registry
+   protocol on both transports under at least three named profiles —
+   all in possible regimes, so every verdict must be atomic — plus the
+   region-outage scenario (a partition composed on top of the
+   wan-3region delays) whose verdict must come from the streaming
+   checker and also be atomic. *)
+
+let check_geo path = function
+  | Obj _ as geo ->
+    (match field geo path "rows" with
+    | Some (List entries) ->
+      if entries = [] then err (path ^ ".rows") "empty";
+      let profiles = ref [] and protocols = ref [] and pairs = ref [] in
+      let remember r v = if not (List.mem v !r) then r := v :: !r in
+      List.iteri
+        (fun i e ->
+          let p = Printf.sprintf "%s.rows[%d]" path i in
+          let profile = want_string e p "profile" in
+          let protocol = want_string e p "protocol" in
+          ignore (want_string e p "design_point");
+          let transport =
+            match want_string e p "transport" with
+            | Some ("mux" | "sockets") as t -> t
+            | Some other ->
+              err (p ^ ".transport")
+                (Printf.sprintf "unknown transport %S" other);
+              None
+            | None -> None
+          in
+          positive e p "s";
+          non_negative e p "t";
+          positive e p "writers";
+          positive e p "readers";
+          positive e p "ops";
+          positive e p "duration_s";
+          positive e p "throughput_ops_per_s";
+          positive e p "write_rounds_per_op";
+          positive e p "read_rounds_per_op";
+          check_ms_obj e p "write_ms";
+          check_ms_obj e p "read_ms";
+          (match want_bool_value e p "atomic" with
+          | Some true | None -> ()
+          | Some false ->
+            err p "non-atomic under a geo profile: delays broke the protocol");
+          Option.iter (remember profiles) profile;
+          Option.iter (remember protocols) protocol;
+          (match (protocol, transport) with
+          | Some proto, Some tr -> remember pairs (proto, tr)
+          | (Some _ | None), (Some _ | None) -> ()))
+        entries;
+      if List.length !profiles < 3 then
+        err (path ^ ".rows")
+          (Printf.sprintf
+             "only %d named profile(s); the grid needs at least 3"
+             (List.length !profiles));
+      if List.length !protocols < 8 then
+        err (path ^ ".rows")
+          (Printf.sprintf
+             "only %d protocol(s); the grid covers the whole registry (8)"
+             (List.length !protocols));
+      List.iter
+        (fun proto ->
+          List.iter
+            (fun tr ->
+              if not (List.mem (proto, tr) !pairs) then
+                err (path ^ ".rows")
+                  (Printf.sprintf "protocol %S missing on the %s transport"
+                     proto tr))
+            [ "mux"; "sockets" ])
+        !protocols
+    | Some (Null | Bool _ | Num _ | Str _ | Obj _) ->
+      err (path ^ ".rows") "expected an array"
+    | None -> err path "missing key \"rows\"");
+    (match field geo path "outage" with
+    | Some (List entries) ->
+      if entries = [] then err (path ^ ".outage") "empty";
+      List.iteri
+        (fun i e ->
+          let p = Printf.sprintf "%s.outage[%d]" path i in
+          ignore (want_string e p "profile");
+          ignore (want_string e p "protocol");
+          (match want_string e p "transport" with
+          | Some ("mux" | "sockets") | None -> ()
+          | Some other ->
+            err (p ^ ".transport") (Printf.sprintf "unknown transport %S" other));
+          ignore (want_string e p "region");
+          positive e p "window_s";
+          positive e p "ops";
+          positive e p "duration_s";
+          non_negative e p "retries";
+          non_negative e p "unavailable";
+          (match want_string e p "check" with
+          | Some "live" | None -> ()
+          | Some other ->
+            err (p ^ ".check")
+              (Printf.sprintf
+                 "verdict must come from the streaming checker (\"live\"), \
+                  got %S"
+                 other));
+          match want_bool_value e p "atomic" with
+          | Some true | None -> ()
+          | Some false ->
+            err p "a region outage may cost retries, never atomicity")
+        entries
+    | Some (Null | Bool _ | Num _ | Str _ | Obj _) ->
+      err (path ^ ".outage") "expected an array"
+    | None -> err path "missing key \"outage\"")
+  | Null | Bool _ | Num _ | Str _ | List _ -> err path "expected an object"
+
 let () =
   let require_knee = ref false in
   let path = ref "BENCH_results.json" in
@@ -823,12 +932,20 @@ let () =
   section "live" check_live;
   section "live_scaling" (check_scaling ~require_knee:!require_knee);
   section "kv_scaling" (check_kv_scaling ~require_knee:!require_knee);
+  section "geo" check_geo;
   section "soak" (check_soak ~require_knee:!require_knee);
   section "chaos" check_chaos;
   if !optional = 0 then
     err "$"
       "no result section present (wall_clock / micro_ns_per_run / live / \
-       live_scaling / kv_scaling / soak / chaos)";
+       live_scaling / kv_scaling / geo / soak / chaos)";
+  (* The committed full-budget document must carry the geo grid; a
+     partial regeneration that dropped it is a regression, not a
+     smaller doc. *)
+  (match (!require_knee, field doc "$" "geo") with
+  | true, None ->
+    err "$" "missing geo section (required with --require-knee)"
+  | (true | false), (Some _ | None) -> ());
   match List.rev !errors with
   | [] ->
     Printf.printf "%s: schema OK (%d section(s))\n" path !optional;

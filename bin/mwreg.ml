@@ -498,6 +498,17 @@ let check_mode_arg =
                  violations reported the moment a verdict turns — and \
                  $(b,off) disables checking.")
 
+(* --geo PROFILE, shared by live / kv. *)
+let geo_arg =
+  Arg.(value & opt (some string) None
+       & info [ "geo" ] ~docv:"PROFILE"
+           ~doc:"Shape every client<->server link with the named WAN/geo \
+                 profile (see $(b,mwreg geo --list)): per-region-pair base \
+                 delay plus jitter on both legs, compiled from the same \
+                 matrices as the simulator's latency model for that \
+                 profile.  The round-trip timeout is raised to cover the \
+                 profile's worst RTT when needed.")
+
 (* Mid-run hook: a verdict turning is worth a line the moment it
    happens, not minutes later when the run drains. *)
 let announce_violation key w =
@@ -522,9 +533,10 @@ let report_online (r : Live.Check_sink.report) =
 
 (* One protocol against one (fresh or attached) cluster.  Returns true
    when the recorded history is atomic. *)
-let live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout ~check =
+let live_one ?faults ?max_rt_retries ~register ~cluster ~spec ~kill_at
+    ~transport ~rt_timeout ~check () =
   let res =
-    Live.Session.run ~kill_at ~transport ~rt_timeout
+    Live.Session.run ?faults ?max_rt_retries ~kill_at ~transport ~rt_timeout
       ~live_check:(check = `Live) ~on_violation:announce_violation ~register
       ~cluster spec
   in
@@ -575,7 +587,7 @@ let live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout ~check =
   ok
 
 let live protocol all s tol w r ops connect kills think transport rt_timeout
-    server_domains check =
+    server_domains geo check =
   let check =
     match parse_check_mode check with
     | Ok c -> c
@@ -583,6 +595,23 @@ let live protocol all s tol w r ops connect kills think transport rt_timeout
       Printf.eprintf "%s\n" msg;
       exit 1
   in
+  let geo_profile =
+    match geo with
+    | None -> None
+    | Some name -> (
+      match Live.Geo.find name with
+      | Some p -> Some p
+      | None ->
+        Printf.eprintf "unknown geo profile %S (profiles: %s)\n" name
+          (String.concat ", " (Live.Geo.names ()));
+        exit 1)
+  in
+  if Option.is_some geo_profile && connect <> [] then begin
+    Printf.eprintf
+      "--geo shapes the servers' reply legs too, so it needs a loopback \
+       cluster (drop --connect)\n";
+    exit 1
+  end;
   if server_domains < 1 then begin
     Printf.eprintf "--server-domains must be >= 1\n";
     exit 1
@@ -634,22 +663,36 @@ let live protocol all s tol w r ops connect kills think transport rt_timeout
     exit 1
   | Ok registers, Ok addrs, Ok kill_at, Ok transport ->
     let run_one register =
+      let w =
+        match Registry.max_writers register with
+        | Some m -> min m w
+        | None -> w
+      in
+      (* Geo profiles compile against the session's node numbering
+         (servers 0..s-1, then the w+r clients), so the plan is built
+         after the writer clamp. *)
+      let faults =
+        Option.map
+          (fun p ->
+            Live.Geo.plan p ~s ~clients:(List.init (w + r) (fun i -> s + i)))
+          geo_profile
+      in
+      let rt_timeout =
+        match geo_profile with
+        | Some p -> Float.max rt_timeout (8.0 *. Live.Geo.max_rtt p)
+        | None -> rt_timeout
+      in
       (* A fresh cluster per protocol: replica state must not leak
          between runs (a stale value surfacing in a read would be an
          artifact, not a violation). *)
       let cluster =
         match addrs with
-        | [] -> Live.Cluster.start ~shards:server_domains ~s ~tol ()
+        | [] -> Live.Cluster.start ?faults ~shards:server_domains ~s ~tol ()
         | addrs -> Live.Cluster.connect ~addrs:(Array.of_list addrs) ~tol ()
       in
       Fun.protect
         ~finally:(fun () -> Live.Cluster.shutdown cluster)
         (fun () ->
-          let w =
-            match Registry.max_writers register with
-            | Some m -> min m w
-            | None -> w
-          in
           let spec =
             {
               Live.Session.writers = w;
@@ -660,8 +703,8 @@ let live protocol all s tol w r ops connect kills think transport rt_timeout
               read_think = think;
             }
           in
-          live_one ~register ~cluster ~spec ~kill_at ~transport ~rt_timeout
-            ~check)
+          live_one ?faults ~register ~cluster ~spec ~kill_at ~transport
+            ~rt_timeout ~check ())
     in
     let ok = List.for_all run_one registers in
     if not ok then exit 2
@@ -718,20 +761,31 @@ let live_cmd =
              recorded history for atomicity.")
     Term.(const live $ protocol_arg $ all $ s_arg $ t_arg $ w_arg $ r_arg
           $ ops $ connect $ kills $ think $ transport $ rt_timeout
-          $ server_domains $ check_mode_arg)
+          $ server_domains $ geo_arg $ check_mode_arg)
 
 (* ------------------------------------------------------------------ *)
 (* kv                                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let kv protocol groups s tol clients keys ops dist theta mix transport seed
-    sample think rt_timeout check =
+    sample think rt_timeout geo check =
   let check =
     match parse_check_mode check with
     | Ok c -> c
     | Error msg ->
       Printf.eprintf "%s\n" msg;
       exit 1
+  in
+  let geo_profile =
+    match geo with
+    | None -> None
+    | Some name -> (
+      match Live.Geo.find name with
+      | Some p -> Some p
+      | None ->
+        Printf.eprintf "unknown geo profile %S (profiles: %s)\n" name
+          (String.concat ", " (Live.Geo.names ()));
+        exit 1)
   in
   let register =
     match find_protocol protocol with
@@ -761,12 +815,25 @@ let kv protocol groups s tol clients keys ops dist theta mix transport seed
     Printf.eprintf "%s\n" msg;
     exit 1
   | Ok register, Ok dist, Ok mix, Ok transport ->
-    let cluster = Kv.Cluster.start ~groups ~s ~tol () in
+    (* KV client [i] is node [s + i] in every shard group, so one geo
+       plan covers all the per-group planes. *)
+    let faults =
+      Option.map
+        (fun p ->
+          Live.Geo.plan p ~s ~clients:(List.init clients (fun i -> s + i)))
+        geo_profile
+    in
+    let rt_timeout =
+      match geo_profile with
+      | Some p -> Float.max rt_timeout (8.0 *. Live.Geo.max_rtt p)
+      | None -> rt_timeout
+    in
+    let cluster = Kv.Cluster.start ?faults ~groups ~s ~tol () in
     Fun.protect
       ~finally:(fun () -> Kv.Cluster.shutdown cluster)
       (fun () ->
         let res =
-          Kv.Session.run ~transport ~rt_timeout ~register
+          Kv.Session.run ?faults ~transport ~rt_timeout ~register
             ~live_check:(check = `Live) ~on_violation:announce_violation
             ~cluster
             {
@@ -890,7 +957,7 @@ let kv_cmd =
              keyspace and atomicity-check the sampled keys.")
     Term.(const kv $ protocol $ groups $ s_arg $ t_arg $ clients $ keys
           $ ops $ dist $ theta $ mix $ transport $ seed_arg $ sample $ think
-          $ rt_timeout $ check_mode_arg)
+          $ rt_timeout $ geo_arg $ check_mode_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                                *)
@@ -1052,6 +1119,135 @@ let chaos_cmd =
           $ check_mode_arg)
 
 (* ------------------------------------------------------------------ *)
+(* geo                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let geo_run list_profiles protocol profile s tol w r ops transport outage
+    check =
+  if list_profiles then begin
+    List.iter
+      (fun p -> print_string (Live.Geo.describe p); print_newline ())
+      Live.Geo.profiles;
+    exit 0
+  end;
+  let check =
+    match parse_check_mode check with
+    | Ok c -> c
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
+  let profile =
+    match Live.Geo.find profile with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown geo profile %S (profiles: %s)\n" profile
+        (String.concat ", " (Live.Geo.names ()));
+      exit 1
+  in
+  let transport =
+    match transport with
+    | "mux" -> `Mux
+    | "sockets" -> `Sockets
+    | other ->
+      Printf.eprintf "unknown transport %S (mux|sockets)\n" other;
+      exit 1
+  in
+  match find_protocol protocol with
+  | None ->
+    Printf.eprintf "unknown protocol %S\n" protocol;
+    exit 1
+  | Some register ->
+    let w =
+      match Registry.max_writers register with
+      | Some m -> min m w
+      | None -> w
+    in
+    let clients = List.init (w + r) (fun i -> s + i) in
+    (* Under an outage the timeout must stay short so cut-off clients
+       retry their way across the window instead of stalling on one
+       round trip; without one it only needs to cover the worst RTT. *)
+    let rt_timeout, max_rt_retries =
+      if outage then (Float.max 0.3 (4.0 *. Live.Geo.max_rtt profile), 10)
+      else (Float.max 1.0 (8.0 *. Live.Geo.max_rtt profile), 3)
+    in
+    let extra =
+      if not outage then []
+      else begin
+        let out_region = Live.Geo.region_count profile - 1 in
+        let cut = Live.Geo.region_nodes profile ~s ~clients out_region in
+        let rest =
+          List.filter (fun n -> not (List.mem n cut)) (List.init s Fun.id)
+          @ List.filter (fun n -> not (List.mem n cut)) clients
+        in
+        Format.printf "outage      : region %s (nodes %s) cut 0.05s..0.30s@."
+          (Live.Geo.region_name profile out_region)
+          (String.concat "," (List.map string_of_int cut));
+        [ Live.Faults.partition ~from_:0.05 ~until:0.30 [ cut; rest ] ]
+      end
+    in
+    let faults = Live.Geo.plan ~extra profile ~s ~clients in
+    print_string (Live.Geo.describe profile);
+    Format.printf "@.";
+    let cluster = Live.Cluster.start ~faults ~s ~tol () in
+    let ok =
+      Fun.protect
+        ~finally:(fun () -> Live.Cluster.shutdown cluster)
+        (fun () ->
+          let spec =
+            {
+              Live.Session.writers = w;
+              readers = r;
+              writes_per_writer = ops;
+              reads_per_reader = 2 * ops;
+              write_think = 0.0;
+              read_think = 0.0;
+            }
+          in
+          live_one ~faults ~max_rt_retries ~register ~cluster ~spec
+            ~kill_at:[] ~transport ~rt_timeout ~check ())
+    in
+    if not ok then exit 2
+
+let geo_cmd =
+  let list_profiles =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"Print every named profile's region/delay/jitter matrices \
+                   and exit.")
+  in
+  let profile =
+    Arg.(value & opt string "wan-3region"
+         & info [ "profile" ] ~docv:"PROFILE"
+             ~doc:"Named WAN/geo profile to run under (see $(b,--list)).")
+  in
+  let ops =
+    Arg.(value & opt int 20 & info [ "ops" ] ~docv:"N"
+         ~doc:"Writes per writer (each reader does 2N reads).")
+  in
+  let transport =
+    Arg.(value & opt string "mux"
+         & info [ "transport" ] ~docv:"PLANE"
+             ~doc:"Client data plane: $(b,mux) or $(b,sockets).")
+  in
+  let outage =
+    Arg.(value & flag
+         & info [ "outage" ]
+             ~doc:"Compose the profile with a partition that cuts the last \
+                   region off from 0.05s to 0.30s into the run: its clients \
+                   must ride the window out on retries while the majority \
+                   side keeps committing, and the history must stay atomic.")
+  in
+  Cmd.v
+    (Cmd.info "geo"
+       ~doc:"Run a register protocol over a live cluster whose links are \
+             shaped by a named WAN/geo profile — the same per-region-pair \
+             delay/jitter matrices the simulator's latency model uses — \
+             optionally composing a region outage on top.")
+    Term.(const geo_run $ list_profiles $ protocol_arg $ profile $ s_arg
+          $ t_arg $ w_arg $ r_arg $ ops $ transport $ outage $ check_mode_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -1063,4 +1259,4 @@ let () =
        (Cmd.group info
           [ sim_cmd; threshold_cmd; impossibility_cmd; sieve_cmd; table1_cmd;
             record_cmd; check_cmd; exhaustive_cmd; hunt_cmd; serve_cmd;
-            live_cmd; kv_cmd; chaos_cmd ]))
+            live_cmd; kv_cmd; geo_cmd; chaos_cmd ]))

@@ -81,6 +81,7 @@ module Live = struct
   module Session = Transport.Session
   module Check_sink = Transport.Check_sink
   module Faults = Transport.Faults
+  module Geo = Transport.Geo
   module Chaos = Transport.Chaos
 end
 

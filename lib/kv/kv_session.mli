@@ -51,6 +51,7 @@ val run :
   ?transport:Transport.Cluster.transport ->
   ?rt_timeout:float ->
   ?max_rt_retries:int ->
+  ?faults:Transport.Faults.t ->
   ?register:Protocol.Register_intf.t ->
   ?live_check:bool ->
   ?on_violation:(string -> Checker.Witness.t -> unit) ->
@@ -68,4 +69,6 @@ val run :
     checker's window stays bounded, so unlike the sampled batch path
     this covers the whole keyspace; violations surface through
     [on_violation] as they happen and the report lands in
-    [result.online].  Raises [Invalid_argument] on bad specs. *)
+    [result.online].  [faults] installs a client-side fault plan (e.g. a
+    {!Transport.Geo} profile's latency rules) on every per-group plane.
+    Raises [Invalid_argument] on bad specs. *)

@@ -19,10 +19,12 @@ type t = {
   muxes : Mux.t option array; (* one per group when [`Mux] *)
   rt_timeout : float option;
   max_rt_retries : int option;
+  faults : Faults.t option; (* client-side plan (geo profiles, chaos) *)
   readers : int; (* the ctx's r: how many clients may read *)
 }
 
-let create ?(transport = `Mux) ?rt_timeout ?max_rt_retries ~clients kc =
+let create ?(transport = `Mux) ?rt_timeout ?max_rt_retries ?faults ~clients kc
+    =
   let n = Kv_cluster.group_count kc in
   let muxes =
     match transport with
@@ -30,11 +32,11 @@ let create ?(transport = `Mux) ?rt_timeout ?max_rt_retries ~clients kc =
     | `Mux ->
       Array.init n (fun g ->
           Some
-            (Mux.create ?rt_timeout ?max_rt_retries
+            (Mux.create ?rt_timeout ?max_rt_retries ?faults
                ~servers:(Cluster.addrs (Kv_cluster.group kc g))
                ~quorum:(Kv_cluster.quorum kc) ()))
   in
-  { kc; transport; muxes; rt_timeout; max_rt_retries; readers = clients }
+  { kc; transport; muxes; rt_timeout; max_rt_retries; faults; readers = clients }
 
 let transport t = t.transport
 
@@ -57,7 +59,7 @@ let client t ~index =
         | Some m -> Endpoint.of_mux (Mux.client m ~client:node)
         | None ->
           Endpoint.create ?rt_timeout:t.rt_timeout
-            ?max_rt_retries:t.max_rt_retries ~client:node
+            ?max_rt_retries:t.max_rt_retries ?faults:t.faults ~client:node
             ~servers:(Cluster.addrs (Kv_cluster.group t.kc g))
             ~quorum:(Kv_cluster.quorum t.kc) ())
   in

@@ -14,12 +14,15 @@ val create :
   ?transport:Transport.Cluster.transport ->
   ?rt_timeout:float ->
   ?max_rt_retries:int ->
+  ?faults:Transport.Faults.t ->
   clients:int ->
   Kv_cluster.t ->
   t
 (** [create ~clients kc] builds the process-wide plane view.  [clients]
     is the client-population size the per-key contexts report as their
-    reader count [r] (the fast-read admissibility scan needs it). *)
+    reader count [r] (the fast-read admissibility scan needs it).
+    [faults] installs a client-side fault plan on every per-group plane
+    — e.g. a {!Transport.Geo} profile's latency rules. *)
 
 val transport : t -> Transport.Cluster.transport
 

@@ -31,5 +31,21 @@ val geo : region_of:(int -> int) -> local:float -> cross:float -> jitter:float -
     messages across regions about [cross], each perturbed by a uniform
     jitter in [\[0, jitter)].  [region_of] maps a node id to its region. *)
 
+val matrix :
+  name:string ->
+  region_of:(int -> int) ->
+  delay:float array array ->
+  jitter:float array array ->
+  t
+(** The full-matrix generalisation of {!geo}: a message from a node in
+    region [a] to one in region [b] takes [delay.(a).(b)] seconds plus a
+    uniform jitter in [\[0, jitter.(a).(b))].  Rows are source regions,
+    columns destinations, so asymmetric (up ≠ down) links are
+    expressible.  Both matrices must be square and of equal size.
+    [Transport.Geo] profiles compile to this model and to equivalent
+    live-transport fault rules, so "who is far from whom" means the
+    same thing on the simulator and on sockets.  Raises
+    [Invalid_argument] on shape mismatch. *)
+
 val custom : name:string -> (Rng.t -> src:int -> dst:int -> float) -> t
 (** Escape hatch for tests and adversarial schedules. *)

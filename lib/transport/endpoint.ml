@@ -38,6 +38,13 @@ type sockets = {
   read_buf : Bytes.t;
   enc : Buffer.t; (* reused encode buffer *)
   mutable out : Bytes.t; (* reused write staging *)
+  (* Fault-plan deliveries scheduled for later: (due, payload copy,
+     server index, truncated), sorted by deadline.  The op's poll loop
+     drains due entries and shrinks its timeout to the nearest one; the
+     sender never sleeps, so a delay on one link cannot push back the
+     sends to the rest of the fan-out.  One client thread owns the
+     endpoint, so no lock. *)
+  mutable staged : (float * Bytes.t * int * bool) list;
 }
 
 type t =
@@ -130,6 +137,7 @@ let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
       read_buf = Bytes.create 65536;
       enc = Buffer.create 256;
       out = Bytes.create 256;
+      staged = [];
     }
   in
   (* Optimistic first dial; failures just leave the conn in backoff. *)
@@ -160,6 +168,40 @@ let send_truncated c bytes len =
     let prefix = max 1 (len / 2) in
     try Netio.write_all fd bytes 0 prefix with Unix.Unix_error _ -> ()));
   drop c
+
+(* Park one scheduled delivery on the deadline queue (sorted insert;
+   the queue holds a handful of frames). *)
+let stage t ~due payload i truncated =
+  let rec ins = function
+    | [] -> [ (due, payload, i, truncated) ]
+    | ((d, _, _, _) :: _) as l when due < d -> (due, payload, i, truncated) :: l
+    | e :: rest -> e :: ins rest
+  in
+  t.staged <- ins t.staged
+
+(* Deliver every staged frame whose deadline has passed.  Frames may
+   outlive the round (or even the operation) that sent them — the
+   asynchrony being modelled; the replies they draw count as late. *)
+let drain_staged t =
+  let t_now = now () in
+  let rec split acc l =
+    match l with
+    | (d, payload, i, tr) :: rest when d <= t_now ->
+      split ((payload, i, tr) :: acc) rest
+    | [] | (_, _, _, _) :: _ ->
+      t.staged <- l;
+      List.rev acc
+  in
+  List.iter
+    (fun (payload, i, truncated) ->
+      let c = t.conns.(i) in
+      if truncated then send_truncated c payload (Bytes.length payload)
+      else ignore (send_bytes c payload (Bytes.length payload)))
+    (split [] t.staged)
+
+(* Nearest staged deadline, for the poll-timeout shrink. *)
+let next_staged_due t =
+  match t.staged with (d, _, _, _) :: _ -> Some d | [] -> None
 
 (* The round-trip contract of the model (§2.1): send to all S servers,
    complete on the first S − t replies in arrival order, count whatever
@@ -232,10 +274,16 @@ let sockets_exec ?key t req k =
               else
                 List.iter
                   (fun { Faults.after; truncated } ->
-                    (* Delaying the sender is a legal link delay: the
-                       op is synchronous in this thread anyway. *)
-                    if after > 0.0 then Thread.delay after;
-                    if truncated then begin
+                    if after > 0.0 then begin
+                      (* Park it and keep fanning out: a delay on this
+                         link must not push back the send time to the
+                         later servers of the round.  Copied because
+                         [t.out] is reused by the next operation. *)
+                      stage t ~due:(now () +. after) (Bytes.sub t.out 0 len) i
+                        truncated;
+                      sent.(i) <- true
+                    end
+                    else if truncated then begin
                       send_truncated c t.out len;
                       sent.(i) <- true
                     end
@@ -284,20 +332,31 @@ let sockets_exec ?key t req k =
       end
     end
     else begin
-      (* Keep nudging reconnects whose backoff gate has opened. *)
+      (* Keep nudging reconnects whose backoff gate has opened, and
+         fire any staged deliveries that have come due. *)
       broadcast ();
+      drain_staged t;
+      (* Wait no longer than the nearest staged deadline (0.5 ms
+         floor), so parked frames go out on time instead of quantising
+         to the 50 ms poll tick. *)
+      let timeout =
+        let cap = Float.min remaining 0.05 in
+        match next_staged_due t with
+        | Some d -> Float.max 0.0005 (Float.min cap (d -. now ()))
+        | None -> cap
+      in
       let live =
         Array.to_list t.conns
         |> List.filter_map (fun c -> c.fd)
       in
-      if live = [] then Thread.delay (min 0.01 remaining)
+      if live = [] then Thread.delay (Float.min 0.01 timeout)
       else
         (* poll(2) via Netio, not [Unix.select]: descriptor numbers pass
            1024 routinely once hundreds of clients each hold S sockets,
            and select corrupts its fd_set beyond FD_SETSIZE.  EINTR
            returns [[]]; a connection that died between listing and
            polling is reported ready, and the read path drops it. *)
-        match Netio.wait_readable live (min remaining 0.05) with
+        match Netio.wait_readable live timeout with
         | [] -> ()
         | fds -> read_ready fds
     end

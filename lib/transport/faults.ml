@@ -1,6 +1,11 @@
 type dir = To_server | From_server
 
-type kind = Drop | Delay of float | Duplicate | Truncate
+type kind =
+  | Drop
+  | Delay of float
+  | Duplicate
+  | Truncate
+  | Latency of { base : float; jitter : float }
 
 type frame_rule = {
   kind : kind;
@@ -29,7 +34,9 @@ let rule ?dir ?(servers = []) ?(clients = []) ?(from_ = 0.0) ?(until = infinity)
     invalid_arg "Faults.rule: prob out of [0,1]";
   (match kind with
   | Delay d when not (d > 0.0) -> invalid_arg "Faults.rule: delay must be > 0"
-  | Drop | Delay _ | Duplicate | Truncate -> ());
+  | Latency { base; jitter } when not (base >= 0.0 && jitter >= 0.0 && base +. jitter > 0.0)
+    -> invalid_arg "Faults.rule: latency must have base, jitter >= 0 and base + jitter > 0"
+  | Drop | Delay _ | Duplicate | Truncate | Latency _ -> ());
   Frame { kind; prob; dir; servers; clients; from_s = from_; until_s = until }
 
 let cut ?dir ?servers ?clients ?from_ ?until () =
@@ -46,6 +53,17 @@ let create ?(seed = 0) rules = { seed; rules; t0 = -1.0; lock = Mutex.create () 
 let none = create []
 
 let seed t = t.seed
+
+(* Whether any rule can schedule a frame for later delivery — the
+   client planes use this to decide if their tickers must run at
+   sub-tick granularity (a staged deadline may be milliseconds out). *)
+let has_delays t =
+  List.exists
+    (function
+      | Frame { kind = Delay _ | Latency _; _ } -> true
+      | Frame { kind = Drop | Duplicate | Truncate; _ } -> false
+      | Partition _ -> false)
+    t.rules
 
 let arm t = Mutex.protect t.lock (fun () -> t.t0 <- Clock.now ())
 
@@ -137,10 +155,33 @@ let deliveries t ~dir ~server ~client ~rt ~salt =
             | Drop -> ds := []
             | Delay dmax ->
               (* Deterministic magnitude in (dmax/4, dmax]: large enough
-                 to matter, bounded so plans stay schedulable. *)
-              let u = draw t i ~dir ~server ~client ~rt ~salt 1 in
-              let d = dmax *. (0.25 +. (0.75 *. u)) in
-              ds := List.map (fun dv -> { dv with after = dv.after +. d }) !ds
+                 to matter, bounded so plans stay schedulable.  Each
+                 scheduled copy draws independently (j = 1 + copy index),
+                 so a duplicated frame's two copies land at distinct
+                 deadlines — two slow paths through the network, not one
+                 path taken twice. *)
+              ds :=
+                List.mapi
+                  (fun ci dv ->
+                    let u = draw t i ~dir ~server ~client ~rt ~salt (1 + ci) in
+                    { dv with after = dv.after +. (dmax *. (0.25 +. (0.75 *. u))) })
+                  !ds
+            | Latency { base; jitter } ->
+              (* A modelled link: the full base propagation delay plus a
+                 uniform jitter in [0, jitter) — the same distribution
+                 the simulator's geo latency models draw from, so one
+                 profile means the same thing on both backends.  Jitter
+                 is per copy, like [Delay]. *)
+              ds :=
+                List.mapi
+                  (fun ci dv ->
+                    let extra =
+                      if jitter > 0.0 then
+                        jitter *. draw t i ~dir ~server ~client ~rt ~salt (1 + ci)
+                      else 0.0
+                    in
+                    { dv with after = dv.after +. base +. extra })
+                  !ds
             | Duplicate -> ds := !ds @ [ pass ]
             | Truncate -> (
               match !ds with

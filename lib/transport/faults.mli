@@ -49,12 +49,20 @@ type kind =
   | Drop  (** lose the frame *)
   | Delay of float
       (** deliver late: a deterministic fraction of the given maximum
-          delay, in seconds *)
+          delay, in seconds.  When a frame is also duplicated, each
+          scheduled copy draws its own independent magnitude. *)
   | Duplicate  (** deliver the frame twice *)
   | Truncate
       (** deliver only a prefix of the frame's bytes, then sever the
           link — the receiver's strict decoder rejects the stream and
           the connection is re-established *)
+  | Latency of { base : float; jitter : float }
+      (** a modelled link, not a fault: every matching frame takes
+          [base] seconds plus a uniform jitter in [\[0, jitter)] — the
+          distribution {!Simulation.Latency} geo models draw from.
+          {!Geo} compiles its region-pair matrices into rule sets of
+          this kind, one per (client region, server region, direction).
+          [base], [jitter] must be [>= 0] and not both zero. *)
 
 type rule
 
@@ -107,6 +115,12 @@ val none : t
 (** The empty plan: every frame passes. *)
 
 val seed : t -> int
+
+val has_delays : t -> bool
+(** Whether any rule can schedule late deliveries ({!Delay} or
+    {!Latency}).  The client planes consult this once at creation to run
+    their drain tickers at sub-tick granularity — without it a staged
+    1 ms geo deadline would quantise to the 50 ms timeout tick. *)
 
 val arm : t -> unit
 (** (Re)start the plan clock: rule windows are measured from here.

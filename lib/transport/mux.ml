@@ -30,6 +30,15 @@ type conn = {
   out : Buffer.t;
   mutable flushing : bool;
   mutable staging : Bytes.t; (* flusher-owned swap space, reused *)
+  (* Frames a fault plan scheduled for later delivery on this link:
+     (due, payload copy, truncated), sorted by deadline, guarded by
+     [lock].  Senders park here and move on — a delay scoped to one
+     (client, server) link must never stall another client's batch or
+     the rest of a fan-out.  Due entries are merged into the next flush
+     and swept by the ticker (at sub-tick granularity when the plan has
+     delay rules); there are no delayer threads, mirroring the server
+     reactor's timer list. *)
+  mutable delayed : (float * Bytes.t * bool) list;
   mutable fd : Unix.file_descr option;
   mutable attempts : int; (* consecutive failed connects *)
   mutable next_attempt : float; (* wall-clock gate for the next connect *)
@@ -70,6 +79,11 @@ type t = {
   connect_retries : int;
   connect_backoff : float;
   faults : Faults.t option;
+  (* The armed plan can schedule late deliveries: the ticker then runs
+     at millisecond granularity so staged deadlines (geo profiles go
+     down to sub-millisecond bases) do not quantise to the timeout
+     tick. *)
+  sub_tick : bool;
   routes : (int, mailbox) Hashtbl.t;
   routes_lock : Mutex.t;
   (* Replies that matched no open round trip at all: unknown client
@@ -254,6 +268,20 @@ let enqueue t c bytes len =
       c.flushing <- true;
       let ok = ref true in
       while !ok && Buffer.length c.out > 0 do
+        (* Merge staged deliveries that have come due into this batch —
+           the flush-time half of the delay drain (the ticker sweeps
+           quiet links).  Truncated entries stay for the ticker: they
+           sever the link after sending and cannot ride a batch. *)
+        let t_now = now () in
+        let rec merge () =
+          match c.delayed with
+          | (due, payload, false) :: rest when due <= t_now ->
+            Buffer.add_bytes c.out payload;
+            c.delayed <- rest;
+            merge ()
+          | [] | (_, _, _) :: _ -> ()
+        in
+        merge ();
         let blen = Buffer.length c.out in
         if blen > Bytes.length c.staging then
           c.staging <- Bytes.create (max blen (2 * Bytes.length c.staging));
@@ -282,6 +310,67 @@ let enqueue t c bytes len =
       !ok
     end
 
+(* Truncation fault: the torn frame has gone out on the shared
+   connection, so the whole stream is poisoned — sever it and let every
+   rider reconnect and retry, exactly what a corrupting link costs on
+   this plane. *)
+let sever c =
+  Mutex.protect c.lock (fun () ->
+      match c.fd with
+      | Some fd -> (
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      | None -> ())
+
+(* Park one scheduled delivery on the link's deadline queue (sorted
+   insert; queues hold a handful of frames, the reactor's timer-list
+   idiom).  The payload is the caller's copy — senders reuse their
+   encode staging. *)
+let stage_delayed c ~due payload truncated =
+  Mutex.protect c.lock (fun () ->
+      let rec ins = function
+        | [] -> [ (due, payload, truncated) ]
+        | ((d, _, _) :: _) as l when due < d -> (due, payload, truncated) :: l
+        | e :: rest -> e :: ins rest
+      in
+      c.delayed <- ins c.delayed)
+
+(* Deliver every staged frame whose deadline has passed.  Entries are
+   popped under [c.lock] but sent outside it ([enqueue] takes the lock
+   itself); a truncated delivery sends its prefix then severs the link,
+   as in the immediate path. *)
+let drain_delayed t c t_now =
+  let due =
+    Mutex.protect c.lock (fun () ->
+        let rec split acc l =
+          match l with
+          | (d, payload, tr) :: rest when d <= t_now ->
+            split ((payload, tr) :: acc) rest
+          | [] | (_, _, _) :: _ ->
+            c.delayed <- l;
+            List.rev acc
+        in
+        split [] c.delayed)
+  in
+  List.iter
+    (fun (payload, truncated) ->
+      let len = Bytes.length payload in
+      if truncated then begin
+        ignore (enqueue t c payload (max 1 (len / 2)));
+        sever c
+      end
+      else ignore (enqueue t c payload len))
+    due
+
+(* Nearest staged deadline across every link; [infinity] when idle. *)
+let next_delayed_due t =
+  Array.fold_left
+    (fun acc c ->
+      Mutex.protect c.lock (fun () ->
+          match c.delayed with
+          | (d, _, _) :: _ -> Float.min acc d
+          | [] -> acc))
+    infinity t.conns
+
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -294,22 +383,43 @@ let enqueue t c bytes len =
 let tick_period t = Float.max 0.005 (Float.min 0.05 (t.rt_timeout /. 4.0))
 
 let ticker_body t () =
+  (* The timeout scan keeps its own cadence (tick_period) even when the
+     delay drain shortens the sleep below it: sub-tick wake-ups must
+     not drag every blocked mailbox through the scheduler hundreds of
+     times a second. *)
+  let next_scan = ref (now () +. tick_period t) in
   while not t.stopping do
-    Thread.delay (tick_period t);
-    let mbs =
-      Mutex.protect t.routes_lock (fun () ->
-          Hashtbl.fold (fun _ mb acc -> mb :: acc) t.routes [])
+    let sleep =
+      let tick = tick_period t in
+      if not t.sub_tick then tick
+      else
+        (* Delay-capable plan armed: sleep to the nearest staged
+           deadline (0.5 ms floor), or 1 ms when the queues are idle so
+           a freshly staged short deadline is picked up promptly. *)
+        let due = next_delayed_due t in
+        if due = infinity then Float.min tick 0.001
+        else Float.max 0.0005 (Float.min tick (due -. now ()))
     in
+    Thread.delay sleep;
     let t_now = now () in
-    List.iter
-      (fun mb ->
-        Mutex.protect mb.mb_lock (fun () ->
-            (* Wake a waiter only when its round has actually timed out;
-               broadcasting every tick would drag every blocked client
-               through the scheduler 20 times a second for nothing. *)
-            if mb.mb_rt >= 0 && t_now >= mb.mb_deadline then
-              Condition.broadcast mb.mb_cond))
-      mbs
+    if t.sub_tick then Array.iter (fun c -> drain_delayed t c t_now) t.conns;
+    if t_now >= !next_scan then begin
+      next_scan := t_now +. tick_period t;
+      let mbs =
+        Mutex.protect t.routes_lock (fun () ->
+            Hashtbl.fold (fun _ mb acc -> mb :: acc) t.routes [])
+      in
+      List.iter
+        (fun mb ->
+          Mutex.protect mb.mb_lock (fun () ->
+              (* Wake a waiter only when its round has actually timed
+                 out; broadcasting every tick would drag every blocked
+                 client through the scheduler 20 times a second for
+                 nothing. *)
+              if mb.mb_rt >= 0 && t_now >= mb.mb_deadline then
+                Condition.broadcast mb.mb_cond))
+        mbs
+    end
   done
 
 let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
@@ -330,6 +440,7 @@ let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
               out = Buffer.create 4096;
               flushing = false;
               staging = Bytes.create 4096;
+              delayed = [];
               fd = None;
               attempts = 0;
               next_attempt = 0.0;
@@ -341,6 +452,8 @@ let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
       connect_retries;
       connect_backoff;
       faults;
+      sub_tick =
+        (match faults with Some p -> Faults.has_delays p | None -> false);
       routes = Hashtbl.create 16;
       routes_lock = Mutex.create ();
       dropped = Atomic.make 0;
@@ -441,17 +554,6 @@ let exec ?key h req k =
     mb.out <- Bytes.create (max len (2 * Bytes.length mb.out));
   Buffer.blit mb.enc 0 mb.out 0 len;
   let attempt = ref 0 in
-  (* Truncation fault: the torn frame has gone out on the shared
-     connection, so the whole stream is poisoned — sever it and let
-     every rider reconnect and retry, exactly what a corrupting link
-     costs on this plane. *)
-  let sever c =
-    Mutex.protect c.lock (fun () ->
-        match c.fd with
-        | Some fd -> (
-          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-        | None -> ())
-  in
   let broadcast () =
     Array.iter
       (fun c ->
@@ -470,8 +572,15 @@ let exec ?key h req k =
             in
             List.iter
               (fun { Faults.after; truncated } ->
-                if after > 0.0 then Thread.delay after;
-                if truncated then begin
+                if after > 0.0 then
+                  (* Park on the link's deadline queue — never sleep in
+                     the sender: a delay scoped to this link must not
+                     stall other clients' batches or the rest of this
+                     fan-out.  The payload is copied because [mb.out]
+                     is reused by the next operation. *)
+                  stage_delayed c ~due:(now () +. after)
+                    (Bytes.sub mb.out 0 len) truncated
+                else if truncated then begin
                   ignore (enqueue t c mb.out (max 1 (len / 2)));
                   sever c
                 end

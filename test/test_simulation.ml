@@ -236,6 +236,38 @@ let test_latency_lognormal_positive () =
     check bool "within spread" true (d >= 5.0 /. 3.0 && d <= 5.0 *. 3.0)
   done
 
+let test_latency_matrix () =
+  (* Full-matrix model with asymmetric (up != down) cross-region links:
+     each direction draws from its own row, and every sample stays in
+     [delay, delay + jitter). *)
+  let delay = [| [| 0.001; 0.030 |]; [| 0.010; 0.001 |] |] in
+  let jitter = [| [| 0.0005; 0.003 |]; [| 0.001; 0.0005 |] |] in
+  let l =
+    Latency.matrix ~name:"updown" ~region_of:(fun n -> n mod 2) ~delay ~jitter
+  in
+  let rng = Rng.create ~seed:5 in
+  let in_band ~src ~dst =
+    let a = src mod 2 and b = dst mod 2 in
+    let d = Latency.sample l rng ~src ~dst in
+    check bool "sample in band" true
+      (d >= delay.(a).(b) && d < delay.(a).(b) +. jitter.(a).(b));
+    d
+  in
+  for _ = 1 to 200 do
+    let up = in_band ~src:0 ~dst:1 in
+    let down = in_band ~src:1 ~dst:0 in
+    let local = in_band ~src:0 ~dst:2 in
+    check bool "up slower than down" true (up > down);
+    check bool "local fastest" true (local < down)
+  done;
+  check bool "shape mismatch rejected" true
+    (match
+       Latency.matrix ~name:"bad" ~region_of:(fun n -> n) ~delay
+         ~jitter:[| [| 0.0 |] |]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Network                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -418,6 +450,7 @@ let () =
           tc "uniform range" test_latency_uniform_range;
           tc "geo" test_latency_geo;
           tc "lognormal" test_latency_lognormal_positive;
+          tc "matrix" test_latency_matrix;
         ] );
       ( "network",
         [

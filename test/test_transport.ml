@@ -903,6 +903,245 @@ let test_faults_deterministic () =
          at 0 = [] && at 1 <> [])
        (List.init 100 Fun.id))
 
+let test_dup_delay_independent_copies () =
+  (* Duplicate + Delay composed: both copies of a frame must draw their
+     own deadline (shared deadlines would make the duplicate invisible
+     to reordering-sensitive code paths), stay within the rule's bound,
+     and replay bit-identically from the seed. *)
+  let mk () =
+    Faults.create ~seed:11
+      [ Faults.rule Faults.Duplicate; Faults.rule (Faults.Delay 0.05) ]
+  in
+  let probe plan i =
+    Faults.deliveries plan ~dir:Faults.From_server ~server:(i mod 4)
+      ~client:(4 + (i mod 3)) ~rt:(i / 3) ~salt:0
+  in
+  let ds = List.init 200 (probe (mk ())) in
+  check bool "every frame staged twice" true
+    (List.for_all (fun d -> List.length d = 2) ds);
+  check bool "deadlines within the delay bound" true
+    (List.for_all
+       (List.for_all (fun d -> d.Faults.after >= 0.0 && d.Faults.after <= 0.05))
+       ds);
+  check bool "copies draw independent deadlines" true
+    (List.exists
+       (function
+         | [ a; b ] -> a.Faults.after <> b.Faults.after
+         | [] | [ _ ] | _ :: _ :: _ -> false)
+       ds);
+  check bool "replay is deterministic" true (ds = List.init 200 (probe (mk ())))
+
+let staged_deliveries_prop =
+  (* The determinism contract extended to staged (delayed + duplicated)
+     deliveries: any (seed, link, rt) replays the same schedule on a
+     fresh plan, both directions, every copy within bounds. *)
+  QCheck.Test.make ~count:200 ~name:"staged deliveries replay deterministically"
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (seed, server, client, rt) ->
+      let mk () =
+        Faults.create ~seed
+          [ Faults.rule Faults.Duplicate; Faults.rule (Faults.Delay 0.05) ]
+      in
+      let p1 = mk () and p2 = mk () in
+      List.for_all
+        (fun dir ->
+          let d1 = Faults.deliveries p1 ~dir ~server ~client ~rt ~salt:0 in
+          let d2 = Faults.deliveries p2 ~dir ~server ~client ~rt ~salt:0 in
+          d1 = d2
+          && List.length d1 = 2
+          && List.for_all
+               (fun d ->
+                 d.Faults.after >= 0.0
+                 && d.Faults.after <= 0.05
+                 && not d.Faults.truncated)
+               d1)
+        [ Faults.To_server; Faults.From_server ])
+
+let test_mux_hol_isolation () =
+  (* Head-of-line regression: a staged (delayed) frame of one mux client
+     must park on the shared connection's deadline queue, not sleep in
+     the sender with the connection lock held.  Client 100's 0.4s-delayed
+     op rides out its deadline while client 101 pushes ten ops through
+     the same connection at full speed. *)
+  let replica = Replica.create () in
+  let server = Server.start ~id:0 ~replica () in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server) in
+  let faults =
+    Faults.create
+      [
+        Faults.rule ~dir:Faults.To_server ~clients:[ 100 ]
+          (Faults.Latency { base = 0.4; jitter = 0.0 });
+      ]
+  in
+  let mux = Mux.create ~faults ~servers:[| addr |] ~quorum:1 () in
+  let slow = Mux.client mux ~client:100 in
+  let fast = Mux.client mux ~client:101 in
+  let slow_elapsed = ref 0.0 in
+  let t =
+    Thread.create
+      (fun () ->
+        let t0 = Clock.now () in
+        Mux.exec slow (Wire.Update (value 1 0 1)) (fun _ -> ());
+        slow_elapsed := Clock.now () -. t0)
+      ()
+  in
+  Thread.delay 0.05;
+  (* The slow op is now parked; the fast client must not feel it. *)
+  let t0 = Clock.now () in
+  for n = 1 to 10 do
+    Mux.exec fast (Wire.Update (value (1000 + n) 1 n)) (fun _ -> ())
+  done;
+  let fast_elapsed = Clock.now () -. t0 in
+  Thread.join t;
+  check bool "fast client unaffected by the parked frame" true
+    (fast_elapsed < 0.2);
+  check bool "slow client actually delayed" true (!slow_elapsed >= 0.3);
+  Mux.release slow;
+  Mux.release fast;
+  Mux.shutdown mux;
+  Server.stop server
+
+let test_endpoint_hol_across_servers () =
+  (* Same regression on the private-socket plane: a delay on the link to
+     server 0 must not push back the send time to servers 1 and 2 — the
+     quorum completes on the undelayed majority in wire time. *)
+  let replicas = Array.init 3 (fun _ -> Replica.create ()) in
+  let servers =
+    Array.mapi (fun i r -> Server.start ~id:i ~replica:r ()) replicas
+  in
+  let addrs =
+    Array.map
+      (fun s -> Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port s))
+      servers
+  in
+  let faults =
+    Faults.create
+      [
+        Faults.rule ~dir:Faults.To_server ~servers:[ 0 ]
+          (Faults.Latency { base = 0.4; jitter = 0.0 });
+      ]
+  in
+  let ep = Endpoint.create ~faults ~client:42 ~servers:addrs ~quorum:2 () in
+  let t0 = Clock.now () in
+  let got = ref [] in
+  Endpoint.exec ep (Wire.Update (value 1 0 7)) (fun rs -> got := List.map fst rs);
+  let elapsed = Clock.now () -. t0 in
+  check bool "quorum from the undelayed servers" true
+    (List.sort compare !got = [ 1; 2 ]);
+  check bool "delay on server 0 does not block sends to 1,2" true
+    (elapsed < 0.2);
+  Endpoint.close ep;
+  Array.iter Server.stop servers
+
+(* ------------------------------------------------------------------ *)
+(* Geo profiles: one geography, two compilations                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_geo_compilations_agree () =
+  (* Every profile's two compilations — the simulator's latency model
+     and the live fault rules — must place each (src, dst) delay in the
+     same [base, base + jitter) band read off the same matrices. *)
+  List.iter
+    (fun p ->
+      let s = 4 in
+      let clients = [ 4; 5; 6 ] in
+      let plan = Geo.plan p ~s ~clients in
+      let model = Geo.latency_model p in
+      let rng = Simulation.Rng.create ~seed:9 in
+      let band ~src ~dst d what =
+        let base = Geo.base p ~src ~dst in
+        let j = Geo.jitter_bound p ~src ~dst in
+        check bool
+          (Printf.sprintf "%s %s %d->%d in band" (Geo.name p) what src dst)
+          true
+          (d >= base && d < base +. j)
+      in
+      List.iter
+        (fun c ->
+          for srv = 0 to s - 1 do
+            (match
+               Faults.deliveries plan ~dir:Faults.To_server ~server:srv
+                 ~client:c ~rt:1 ~salt:0
+             with
+            | [ d ] -> band ~src:c ~dst:srv d.Faults.after "request leg"
+            | [] | _ :: _ ->
+              Alcotest.fail "geo rule must stage exactly one copy");
+            (match
+               Faults.deliveries plan ~dir:Faults.From_server ~server:srv
+                 ~client:c ~rt:1 ~salt:0
+             with
+            | [ d ] -> band ~src:srv ~dst:c d.Faults.after "reply leg"
+            | [] | _ :: _ ->
+              Alcotest.fail "geo rule must stage exactly one copy");
+            for _ = 1 to 10 do
+              band ~src:c ~dst:srv
+                (Simulation.Latency.sample model rng ~src:c ~dst:srv)
+                "sim sample"
+            done
+          done)
+        clients)
+    Geo.profiles
+
+let geo_symmetry_prop =
+  (* The symmetric profiles must cost the same in both directions for
+     any node pair; asym-updown must not whenever the pair crosses the
+     edge/core boundary. *)
+  QCheck.Test.make ~count:200 ~name:"geo profile (a)symmetry"
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let sym p =
+        Geo.base p ~src:a ~dst:b = Geo.base p ~src:b ~dst:a
+        && Geo.jitter_bound p ~src:a ~dst:b = Geo.jitter_bound p ~src:b ~dst:a
+      in
+      let cross =
+        Geo.region_of Geo.asym_updown a <> Geo.region_of Geo.asym_updown b
+      in
+      sym Geo.lan
+      && sym Geo.wan_3region
+      && sym Geo.mixed_1ms_80ms
+      &&
+      if cross then
+        Geo.base Geo.asym_updown ~src:a ~dst:b
+        <> Geo.base Geo.asym_updown ~src:b ~dst:a
+      else sym Geo.asym_updown)
+
+let test_geo_wan3_live_atomic () =
+  (* End to end: a live cluster under the wan-3region plan, streaming
+     checker attached.  Atomicity must hold, nobody starves, and the
+     cross-region quorum round trips must actually cost wire time. *)
+  let profile = Geo.wan_3region in
+  let s = 3 and tol = 1 in
+  let w = 2 and r = 2 in
+  let clients = List.init (w + r) (fun i -> s + i) in
+  let faults = Geo.plan profile ~s ~clients in
+  let cluster = Cluster.start ~faults ~s ~tol () in
+  let res =
+    Fun.protect
+      ~finally:(fun () -> Cluster.shutdown cluster)
+      (fun () ->
+        Session.run ~faults
+          ~rt_timeout:(Float.max 1.0 (8.0 *. Geo.max_rtt profile))
+          ~live_check:true ~register:Registry.abd_mwmr ~cluster
+          {
+            Session.default_spec with
+            writers = w;
+            readers = r;
+            writes_per_writer = 2;
+            reads_per_reader = 3;
+          })
+  in
+  check bool "atomic under wan-3region" true (atomic res.Session.history);
+  (match res.Session.online with
+  | None -> Alcotest.fail "live_check:true returned no online report"
+  | Some rep ->
+    check bool "streaming verdict agrees" true (Check_sink.atomic rep));
+  check int "no client starved" 0 res.Session.unavailable;
+  check bool "writes still two rounds" true (res.Session.write_rounds = 2.0);
+  (* S=3 puts one server per region, so every quorum's second reply is
+     a ~80ms-RTT cross-region trip: the run cannot be loopback-fast. *)
+  check bool "cross-region rounds cost wire time" true
+    (res.Session.duration > 0.2)
+
 let test_chaos_soak transport () =
   (* Seeded drop/delay/duplicate storm plus a kill → recover-restart,
      inside a possible regime: the run must complete with the history
@@ -1030,6 +1269,10 @@ let () =
             test_mux_interleaved_clients;
           Alcotest.test_case "quorum despite dead server" `Quick
             test_mux_quorum_with_dead_server;
+          Alcotest.test_case "delayed frame does not block other clients"
+            `Quick test_mux_hol_isolation;
+          Alcotest.test_case "delayed link does not block other servers"
+            `Quick test_endpoint_hol_across_servers;
         ] );
       ( "live",
         [
@@ -1055,6 +1298,9 @@ let () =
             test_netio_eintr_retry;
           Alcotest.test_case "fault plans are deterministic" `Quick
             test_faults_deterministic;
+          Alcotest.test_case "duplicate+delay: independent copy deadlines"
+            `Quick test_dup_delay_independent_copies;
+          QCheck_alcotest.to_alcotest staged_deliveries_prop;
           Alcotest.test_case "soak atomic under faults (mux)" `Quick
             (test_chaos_soak `Mux);
           Alcotest.test_case "soak atomic under faults (sockets)" `Quick
@@ -1069,5 +1315,13 @@ let () =
             (test_restart_recover `Sockets);
           Alcotest.test_case "fresh restart yields a witness" `Quick
             test_restart_fresh;
+        ] );
+      ( "geo",
+        [
+          Alcotest.test_case "both compilations read the same matrices"
+            `Quick test_geo_compilations_agree;
+          QCheck_alcotest.to_alcotest geo_symmetry_prop;
+          Alcotest.test_case "wan-3region live session atomic" `Quick
+            test_geo_wan3_live_atomic;
         ] );
     ]
