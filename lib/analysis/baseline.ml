@@ -2,6 +2,10 @@ type entry = {
   rule : string;
   file : string;
   line : int;
+  col : int option;
+      (* None: old-format entry (no column) — matches any column on the
+         line.  Deprecated; kept for one release so existing baselines
+         keep working while they are migrated. *)
   justification : string;
 }
 
@@ -10,7 +14,7 @@ let parse_line lineno raw =
   if s = "" || s.[0] = '#' then Ok None
   else
     match String.index_opt s ' ' with
-    | None -> Error (Printf.sprintf "line %d: want `RULE file:line why`" lineno)
+    | None -> Error (Printf.sprintf "line %d: want `RULE file:line:col why`" lineno)
     | Some i -> (
       let rule = String.sub s 0 i in
       let rest = String.trim (String.sub s i (String.length s - i)) in
@@ -26,18 +30,32 @@ let parse_line lineno raw =
           (Printf.sprintf
              "line %d: suppression of %s has no justification" lineno rule)
       else
-        match String.rindex_opt locspec ':' with
+        (* [file:line:col] (current) or [file:line] (deprecated): split
+           the last one or two ':'-separated integer components off the
+           path.  Paths never end in `:digits`, so the parse is
+           unambiguous. *)
+        let int_suffix spec =
+          match String.rindex_opt spec ':' with
+          | None -> None
+          | Some k -> (
+            match
+              int_of_string_opt
+                (String.sub spec (k + 1) (String.length spec - k - 1))
+            with
+            | Some n when n >= 0 -> Some (String.sub spec 0 k, n)
+            | Some _ | None -> None)
+        in
+        match int_suffix locspec with
         | None ->
-          Error (Printf.sprintf "line %d: want file:line, got %S" lineno locspec)
-        | Some k -> (
-          let file = String.sub locspec 0 k in
-          match
-            int_of_string_opt
-              (String.sub locspec (k + 1) (String.length locspec - k - 1))
-          with
+          Error
+            (Printf.sprintf "line %d: want file:line:col, got %S" lineno
+               locspec)
+        | Some (prefix, last) -> (
+          match int_suffix prefix with
+          | Some (file, line) ->
+            Ok (Some { rule; file; line; col = Some last; justification })
           | None ->
-            Error (Printf.sprintf "line %d: bad line number in %S" lineno locspec)
-          | Some line -> Ok (Some { rule; file; line; justification })))
+            Ok (Some { rule; file = prefix; line = last; col = None; justification })))
 
 let load path =
   if not (Sys.file_exists path) then Ok []
@@ -60,6 +78,7 @@ let load path =
 
 let matches entry (f : Finding.t) =
   entry.rule = f.Finding.rule && entry.line = f.Finding.line
+  && (match entry.col with None -> true | Some c -> c = f.Finding.col)
   && (entry.file = f.Finding.file
      || Rules.path_matches ~suffix:entry.file f.Finding.file)
 

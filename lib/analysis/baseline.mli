@@ -2,19 +2,25 @@
 
     One entry per line:
 
-    {v RULE path/to/file.ml:LINE justification text... v}
+    {v RULE path/to/file.ml:LINE:COL justification text... v}
 
     ['#'] starts a comment; blank lines are ignored.  Every entry must
     carry a justification — the parser rejects bare suppressions.  An
-    entry suppresses exactly one finding keyed by (rule, file, line),
-    so a suppressed site that drifts shows up again on the next run —
-    by design: suppressions are for deliberate, reviewed exceptions,
-    not for making the tool quiet. *)
+    entry suppresses exactly one finding keyed by (rule, file, line,
+    col), so a suppressed site that drifts shows up again on the next
+    run — by design: suppressions are for deliberate, reviewed
+    exceptions, not for making the tool quiet.
+
+    The pre-column format [RULE file:LINE why] is still accepted for
+    one release: such an entry matches any column on its line and is
+    reported with a deprecation note, so existing baselines keep
+    working while they are migrated. *)
 
 type entry = {
   rule : string;
   file : string;
   line : int;
+  col : int option;  (** [None]: deprecated old-format entry *)
   justification : string;
 }
 

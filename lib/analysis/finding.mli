@@ -1,15 +1,37 @@
-(** Lint findings, keyed by (rule, file, line). *)
+(** Lint findings, keyed by (rule, file, line, col).
 
-type t = { rule : string; file : string; line : int; message : string }
+    The column is part of the identity: two distinct findings of the
+    same rule on the same line (e.g. two shared fields accessed in one
+    expression) must not collapse into one baseline key. *)
 
-val of_loc : rule:string -> file:string -> Location.t -> string -> t
-(** Anchor a finding at the start line of an AST location. *)
+type severity = Error | Warning
 
-val key : t -> string * string * int
-(** The (rule, file, line) identity used for baseline matching. *)
+val severity_to_string : severity -> string
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;  (** 1-indexed column of the finding's anchor *)
+  message : string;
+}
+
+val of_loc :
+  rule:string -> severity:severity -> file:string -> Location.t -> string -> t
+(** Anchor a finding at the start line/column of an AST location. *)
+
+val key : t -> string * string * int * int
+(** The (rule, file, line, col) identity used for baseline matching. *)
 
 val compare : t -> t -> int
-(** Order by file, then line, then rule — the report order. *)
+(** Order by file, then line, then column, then rule — the report
+    order. *)
 
 val to_string : t -> string
-(** [file:line: \[RULE\] message] — the one-line report form. *)
+(** [file:line:col: \[RULE\] message] — the one-line report form. *)
+
+val to_json : t -> string
+(** One JSON object — [{"rule":…,"severity":…,"file":…,"line":…,
+    "col":…,"message":…}] — for [--format json] and annotation
+    tooling. *)

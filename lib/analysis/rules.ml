@@ -43,19 +43,44 @@ let condition_wait_loop = "CONDITION-WAIT-LOOP"
 
 let catch_all_exn = "CATCH-ALL-EXN"
 
+let shared_access = "SHARED-ACCESS"
+
+let atomic_discipline = "ATOMIC-DISCIPLINE"
+
 let all_rules =
   [
-    (lock_order, "mutex acquisition order must be acyclic across the repo");
+    ( lock_order,
+      Finding.Error,
+      "mutex acquisition order must be acyclic across the repo" );
     ( blocking_under_lock,
+      Finding.Error,
       "no blocking syscall lexically inside a held-lock region" );
     ( monotonic_time,
+      Finding.Warning,
       "deadlines and elapsed times use Clock.now, not Unix.gettimeofday" );
-    (raw_io, "raw socket reads/writes live only in lib/transport/netio.ml");
+    ( raw_io,
+      Finding.Warning,
+      "raw socket reads/writes live only in lib/transport/netio.ml" );
     ( condition_wait_loop,
+      Finding.Error,
       "Condition.wait only inside a while predicate-recheck loop" );
     ( catch_all_exn,
+      Finding.Warning,
       "no catch-all exception handler swallowing I/O failures" );
+    ( shared_access,
+      Finding.Error,
+      "thread-shared mutable state is accessed under its inferred owner \
+       lock (or carries a lock-free justification)" );
+    ( atomic_discipline,
+      Finding.Error,
+      "cross-thread signal flags are Atomic.t and atomic RMW uses \
+       compare_and_set / fetch_and_add" );
   ]
+
+let severity_of rule =
+  match List.find_opt (fun (r, _, _) -> r = rule) all_rules with
+  | Some (_, sev, _) -> sev
+  | None -> Finding.Error
 
 (* ------------------------------------------------------------------ *)
 (* Configuration: call sets and path-scoped allowlists                 *)
@@ -136,24 +161,220 @@ let blocking_allow : (string * string * string) list = []
    EINTR fix). *)
 let io_modules = [ "Unix"; "Netio" ]
 
+(* Calls whose closure/function arguments run on another thread.  Used
+   by the escape pass to seed spawn-reachability: any mutable cell
+   touched from code reachable from one of these arguments is
+   thread-shared.  Pool's entry points count — their thunks run on
+   worker domains. *)
+let spawn_calls =
+  [
+    "Thread.create";
+    "Domain.spawn";
+    "Pool.run_tasks";
+    "Pool.map";
+    "Pool.map_reduce";
+    "Pool.iter_seeds";
+  ]
+
+(* SHARED-ACCESS lock-free allowlist: (cell, justification).  A cell is
+   the declaring-module-qualified name of a mutable field, or the
+   function-qualified name of a ref/array/table binding.  Every entry
+   silences the cell globally and MUST carry a justification — these
+   are reviewed design decisions (CAS retry loops, single-owner-thread
+   state), not suppressions of unread findings.  The `--lock-map`
+   artifact prints this table so the decisions stay visible. *)
+let lock_free_allow : (string * string) list =
+  [
+    (* -- transport: documented single-owner designs ---------------- *)
+    ( "Transport.Check_sink.ports",
+      "built before start (enforced by invalid_arg); the checker \
+       thread is the sole reader afterwards — the completion path \
+       itself is the CAS stack (queue/inflight are Atomic.t)" );
+    ( "Transport.Check_sink.next",
+      "per-port id counter: only the owning client thread calls \
+       completed on its port" );
+    ( "Transport.Check_sink.batches",
+      "checker-thread-private counter; stop reads it only after \
+       joining the checker thread" );
+    ( "Transport.Check_sink.busy",
+      "checker-thread-private counter; stop reads it only after \
+       joining the checker thread" );
+    ( "Transport.Mux.staging",
+      "flusher-owned swap space: only the thread that set [flushing] \
+       under the conn lock touches it until it clears the flag" );
+    ( "Transport.Mux.mb_from",
+      "documented benign race: the broadcast path reads the dedup \
+       array outside the mailbox lock; worst case is a duplicate \
+       send and replica operations are idempotent" );
+    ( "Transport.Mux.mb_enc",
+      "per-handle encode staging; a handle belongs to one client \
+       thread" );
+    ( "Transport.Mux.mb_out",
+      "per-handle write staging; a handle belongs to one client \
+       thread" );
+    ( "Transport.Endpoint.*",
+      "one client thread owns the endpoint (module design comment): \
+       the private per-client-socket plane has no locks at all" );
+    ( "Transport.Codec.Stream.*",
+      "a decode stream belongs to the one thread that reads its \
+       connection (demux thread / shard reactor)" );
+    ( "Transport.Session.*",
+      "per-client op logs written by the owning client thread; \
+       merge_history reads them after every client has joined" );
+    ( "Transport.Cluster.*",
+      "harness control plane: kill/restart/addrs run on the \
+       coordinating thread only, never on client or server threads" );
+    (* -- transport/server: shard confinement ----------------------- *)
+    ( "Transport.Server.Outq.*",
+      "shard-confined: each reactor thread owns its connections' \
+       out-queues (see the reactor design comment)" );
+    ( "Transport.Server.conns",
+      "shard-confined: the owning reactor thread is the only one that \
+       touches the shard's connection table" );
+    ( "Transport.Server.timers",
+      "shard-confined: the timer list belongs to the shard's reactor \
+       thread" );
+    ( "Transport.Server.frames",
+      "shard-confined per-connection counter" );
+    ( "Transport.Server.rbuf",
+      "shard-confined read buffer" );
+    ( "Transport.Server.want_write",
+      "shard-confined: poller interest toggles happen only on the \
+       owning reactor thread" );
+    ( "Transport.Server.sever",
+      "shard-confined: set and read only by the owning reactor \
+       thread while it processes the connection" );
+    ( "Transport.Server.rr",
+      "round-robin accept cursor: shard 0's thread only (field \
+       comment)" );
+    ( "Transport.Server.runners",
+      "guarded by the stopping Atomic.exchange gate: only the winning \
+       stop caller touches the list, after joining every shard" );
+    ( "Transport.Netio.Poller.*",
+      "per-shard poller owned by its reactor thread" );
+    (* -- registers: served state's off-thread edges ----------------- *)
+    ( "Registers.Keyspace.hot",
+      "bare sites are load (fresh instance, pre-publication) and \
+       save/stats (post-stop); all in-service access runs under \
+       Server.replica_lock" );
+    ( "Registers.Keyspace.cold",
+      "bare sites are load (fresh instance, pre-publication) and \
+       save/stats (post-stop); all in-service access runs under \
+       Server.replica_lock" );
+    ( "Registers.Replica.current",
+      "bare sites are load (fresh instance) and post-stop snapshot \
+       getters; all in-service access runs under Server.replica_lock" );
+    ( "Registers.Replica.vector",
+      "bare sites are load (fresh instance) and post-stop snapshot \
+       getters; all in-service access runs under Server.replica_lock" );
+    ( "Registers.Replica.updated",
+      "bare sites are load (fresh instance) and post-stop snapshot \
+       getters; all in-service access runs under Server.replica_lock" );
+    (* -- single-threaded planes driven from worker harnesses -------- *)
+    ( "Simulation.*",
+      "discrete-event simulation instances are single-threaded by \
+       design; each worker/test owns its engine outright" );
+    ( "Registers.Abd_mwmr.*",
+      "simulation-plane register state, driven by one engine instance \
+       at a time" );
+    ( "Protocol.*",
+      "simulation-plane protocol state, driven by one engine instance \
+       at a time" );
+    ( "Checker.*",
+      "a checker instance is thread-confined: each soak/worker owns \
+       its checker, or feeds it through Check_sink's single checker \
+       thread" );
+    ( "Histories.Recorder.*",
+      "one recorder per client thread; merges read them after join" );
+    ( "Workload.Stats.Hist.*",
+      "per-thread histograms, merged after the workers join" );
+    ( "Kv.Kv_session.*",
+      "per-client session logs; history_of_key reads them post-join" );
+  ]
+
+(* An allowlist entry is an exact cell name or a module prefix
+   ("Transport.Endpoint.*"): prefixes exist so a subsystem whose whole
+   design is single-owner (the endpoint, the simulation plane) is one
+   reviewed decision instead of a dozen copies of it. *)
+let allow_justification cell =
+  let matches (pat, _) =
+    pat = cell
+    || String.ends_with ~suffix:".*" pat
+       && String.starts_with
+            ~prefix:(String.sub pat 0 (String.length pat - 1))
+            cell
+  in
+  Option.map snd (List.find_opt matches lock_free_allow)
+
 (* ------------------------------------------------------------------ *)
 (* Summaries shared across files (for LOCK-ORDER)                      *)
 (* ------------------------------------------------------------------ *)
 
-type site = { s_file : string; s_line : int }
+type site = { s_file : string; s_line : int; s_col : int }
+
+(* One read or write of a tracked mutable cell, with the lexical held
+   set at the point of access.  The lockmap pass later widens the held
+   set with the interprocedural held-at-entry fixpoint. *)
+type access = {
+  a_cell : string;
+  a_write : bool;
+  a_bool_lit : bool;  (* write of a literal true/false *)
+  a_site : site;
+  a_held : string list;
+}
 
 type fsum = {
+  f_mod : string;  (* module path at definition, for callee lookup *)
   mutable f_acquires : string list;  (* direct lock acquisitions *)
   mutable f_edges : (string * string * site) list;  (* held -> acquired *)
   mutable f_calls : (string * string list * site) list;  (* callee, held *)
+  mutable f_accesses : access list;  (* tracked-cell reads/writes *)
+}
+
+(* A record-label declaration seen during the decl pre-pass.  EVERY
+   label is recorded, not just mutable/container ones: resolution must
+   see immutable same-named labels or [stopping : bool Atomic.t] in
+   Server resolves to Mux's plain [mutable stopping : bool] and the
+   server file inherits another module's findings.  [d_tracked] marks
+   the labels whose accesses the walker actually records. *)
+type decl = { d_mod : string; d_bool : bool; d_tracked : bool }
+
+(* Identity + metadata of a tracked mutable cell.  [c_creator] is the
+   summary key of the binding that created a ref/array/table cell:
+   accesses inside the creator are initialization-before-publication
+   (or post-join reads) and never count as shared-access sites.  Field
+   cells have no creator.  [c_toplevel] distinguishes module-global
+   bindings (shared by anything) from function-local ones (fresh per
+   invocation — only a spawn nested under the creator can share
+   them). *)
+type cellinfo = {
+  c_bool : bool;
+  c_creator : string option;
+  c_toplevel : bool;
 }
 
 type state = {
   funcs : (string, fsum) Hashtbl.t;
+  decls : (string, decl) Hashtbl.t;  (* label -> decls (multi) *)
+  cells : (string, cellinfo) Hashtbl.t;
+  lookups : (string * string, string option) Hashtbl.t;
+      (* (caller module, callee) -> resolved summary key.  Callee
+         resolution falls back to an O(|funcs|) suffix scan for
+         cross-library calls; the reachability and held-set fixpoints
+         resolve the same edges over and over, so cache per state
+         (NOT globally — test fixtures reuse module names across
+         independent states). *)
   mutable findings : Finding.t list;
 }
 
-let create_state () = { funcs = Hashtbl.create 64; findings = [] }
+let create_state () =
+  {
+    funcs = Hashtbl.create 64;
+    decls = Hashtbl.create 64;
+    cells = Hashtbl.create 64;
+    lookups = Hashtbl.create 64;
+    findings = [];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Small AST helpers                                                   *)
@@ -173,6 +394,152 @@ let head_ident e =
   | _ -> None
 
 let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let col_of (loc : Location.t) =
+  let s = loc.Location.loc_start in
+  s.Lexing.pos_cnum - s.Lexing.pos_bol + 1
+
+let rec is_bool_lit e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident ("true" | "false"); _ }, None)
+    ->
+    true
+  | Pexp_constraint (e', _) -> is_bool_lit e'
+  | _ -> false
+
+(* Head constructor of a core type: ["bool"], ["array"], ["Hashtbl.t"],
+   ["Atomic.t"], ...  Used to classify record labels in the decl
+   pre-pass — no typing environment, so this is syntactic. *)
+let rec type_head t =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, _) ->
+    strip_stdlib (String.concat "." (Longident.flatten txt))
+  | Ptyp_poly (_, t') -> type_head t'
+  | _ -> ""
+
+(* Immutable labels of these types still hold mutable state: the
+   container contents.  Buffer is deliberately absent — the repo's
+   Buffers are either owner-thread staging or already lock-guarded,
+   and Buffer.add_* appears in too many formatting helpers to track
+   without drowning the report. *)
+let container_heads = [ "array"; "bytes"; "Bytes.t"; "Hashtbl.t"; "Queue.t" ]
+
+(* Container operations, classified by whether they mutate.  An
+   application of one of these to a tracked ref/array/table binding is
+   an access of that cell ([a.(i)] and [s.[i]] parse to Array.get /
+   String.get applications, so index syntax is covered for free). *)
+let container_write_ops =
+  [
+    "Array.set";
+    "Array.unsafe_set";
+    "Array.fill";
+    "Array.blit";
+    "Bytes.set";
+    "Bytes.unsafe_set";
+    "Bytes.fill";
+    "Bytes.blit";
+    "Bytes.blit_string";
+    "Hashtbl.add";
+    "Hashtbl.replace";
+    "Hashtbl.remove";
+    "Hashtbl.clear";
+    "Hashtbl.reset";
+    "Hashtbl.filter_map_inplace";
+    "Queue.push";
+    "Queue.add";
+    "Queue.pop";
+    "Queue.take";
+    "Queue.take_opt";
+    "Queue.clear";
+    "Queue.transfer";
+  ]
+
+let container_read_ops =
+  [
+    "Array.get";
+    "Array.unsafe_get";
+    "Array.length";
+    "Array.iter";
+    "Array.iteri";
+    "Array.fold_left";
+    "Array.map";
+    "Array.mapi";
+    "Array.to_list";
+    "Array.copy";
+    "Array.sub";
+    "Bytes.get";
+    "Bytes.unsafe_get";
+    "Bytes.length";
+    "Bytes.sub";
+    "Bytes.sub_string";
+    "Bytes.to_string";
+    "Hashtbl.find";
+    "Hashtbl.find_opt";
+    "Hashtbl.find_all";
+    "Hashtbl.mem";
+    "Hashtbl.length";
+    "Hashtbl.iter";
+    "Hashtbl.fold";
+    "Hashtbl.to_seq";
+    "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+    "Queue.peek";
+    "Queue.peek_opt";
+    "Queue.top";
+    "Queue.length";
+    "Queue.is_empty";
+    "Queue.iter";
+    "Queue.fold";
+  ]
+
+let container_access path =
+  if List.mem path container_write_ops then Some true
+  else if List.mem path container_read_ops then Some false
+  else None
+
+(* [let x = ref/Array.make/Hashtbl.create ... ] — a binding that
+   creates a fresh mutable cell.  Returns [Some is_bool_flag]. *)
+let creation_of e =
+  match e.pexp_desc with
+  | Pexp_apply (hd, args) -> (
+    match head_ident hd with
+    | Some "ref" -> (
+      match args with [ (_, v) ] -> Some (is_bool_lit v) | _ -> None)
+    | Some
+        ( "Array.make" | "Array.init" | "Array.create_float"
+        | "Bytes.create" | "Bytes.make" | "Hashtbl.create" | "Queue.create"
+          ) ->
+      Some false
+    | _ -> None)
+  | _ -> None
+
+let rec is_record_literal e =
+  match e.pexp_desc with
+  | Pexp_record _ -> true
+  | Pexp_constraint (e', _) -> is_record_literal e'
+  | _ -> false
+
+(* Syntactic identity of an Atomic.t location, for the get-then-set
+   RMW check: field accesses compare by label, plain idents by path. *)
+let rec atomic_target e =
+  match e.pexp_desc with
+  | Pexp_field (_, { txt; _ }) -> Some ("#" ^ Longident.last txt)
+  | Pexp_ident { txt; _ } -> Some (lid_path txt)
+  | Pexp_constraint (e', _) -> atomic_target e'
+  | _ -> None
+
+let contains_atomic_get tgt v =
+  let found = ref false in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_apply (hd, [ (_, a) ]) when head_ident hd = Some "Atomic.get" ->
+      if atomic_target a = Some tgt then found := true
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it v;
+  !found
 
 let rec is_wild p =
   match p.ppat_desc with
@@ -235,12 +602,19 @@ type fctx = {
   mutable modname : string;
   mutable fn_stack : string list;  (* innermost first *)
   mutable locals : (string * string) list;  (* local fn name -> summary key *)
+  mutable tracked : (string * string) list;  (* ref/array binding -> cell *)
+  mutable owned : string list;
+      (* vars bound to record literals in this function: accesses
+         through them are construction-before-publication, not shared
+         accesses.  Cleared inside spawned closures and local function
+         bodies, which may run after publication. *)
   mutable while_depth : int;
 }
 
 let report ctx ~rule loc msg =
   ctx.st.findings <-
-    Finding.of_loc ~rule ~file:ctx.file loc msg :: ctx.st.findings
+    Finding.of_loc ~rule ~severity:(severity_of rule) ~file:ctx.file loc msg
+    :: ctx.st.findings
 
 let fn_key ctx =
   match ctx.fn_stack with
@@ -252,11 +626,20 @@ let summary ctx =
   match Hashtbl.find_opt ctx.st.funcs key with
   | Some s -> s
   | None ->
-    let s = { f_acquires = []; f_edges = []; f_calls = [] } in
+    let s =
+      {
+        f_mod = ctx.modname;
+        f_acquires = [];
+        f_edges = [];
+        f_calls = [];
+        f_accesses = [];
+      }
+    in
     Hashtbl.add ctx.st.funcs key s;
     s
 
-let site_of ctx loc = { s_file = ctx.file; s_line = line_of loc }
+let site_of ctx loc =
+  { s_file = ctx.file; s_line = line_of loc; s_col = col_of loc }
 
 (* Locks are identified by their final field/variable name, qualified
    by the defining module: precise enough to separate [Server.wlock]
@@ -290,6 +673,94 @@ let resolve ctx path =
     match List.assoc_opt path ctx.locals with
     | Some key -> key
     | None -> ctx.modname ^ "." ^ path
+
+(* ------------------------------------------------------------------ *)
+(* Tracked-cell plumbing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let register_cell ctx cell ~bool ~creator ~toplevel =
+  if not (Hashtbl.mem ctx.st.cells cell) then
+    Hashtbl.add ctx.st.cells cell
+      { c_bool = bool; c_creator = creator; c_toplevel = toplevel }
+
+(* Resolve a field label to its declaring module, preferring lexical
+   scope: the accessing module itself, then an enclosing module, then
+   an enclosed one, then a qualifier on the access path, then the
+   lexicographically smallest declarer (deterministic under any file
+   order — the shuffle test depends on this). *)
+let field_cell ctx lid =
+  let label = Longident.last lid in
+  match Hashtbl.find_all ctx.st.decls label with
+  | [] -> None
+  | ds ->
+    let qual =
+      match lid with
+      | Longident.Ldot (m, _) ->
+        Some (String.concat "." (Longident.flatten m))
+      | _ -> None
+    in
+    let score d =
+      if Some d.d_mod = qual then 6
+      else if
+        match qual with
+        | Some q -> String.ends_with ~suffix:("." ^ q) d.d_mod
+        | None -> false
+      then 5
+      else if d.d_mod = ctx.modname then 4
+      else if String.starts_with ~prefix:(d.d_mod ^ ".") ctx.modname then 3
+      else if String.starts_with ~prefix:(ctx.modname ^ ".") d.d_mod then 2
+      else 0
+    in
+    let best =
+      List.fold_left
+        (fun acc d ->
+          match acc with
+          | None -> Some d
+          | Some b ->
+            let sd = score d and sb = score b in
+            if sd > sb || (sd = sb && d.d_mod < b.d_mod) then Some d
+            else acc)
+        None ds
+    in
+    (* Resolution runs over ALL labels so lexical scope wins; only a
+       tracked winner names a cell.  An untracked winner (immutable,
+       or Atomic.t) shadows any same-named tracked label elsewhere. *)
+    Option.bind best (fun d ->
+        if d.d_tracked then Some (d.d_mod ^ "." ^ label, d.d_bool) else None)
+
+let tracked_ident ctx e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } ->
+    List.assoc_opt x ctx.tracked
+  | _ -> None
+
+let obj_owned ctx obj =
+  match obj.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> List.mem x ctx.owned
+  | _ -> false
+
+let record_access ctx held ~cell ~write ~bool_lit loc =
+  let s = summary ctx in
+  s.f_accesses <-
+    {
+      a_cell = cell;
+      a_write = write;
+      a_bool_lit = bool_lit;
+      a_site = site_of ctx loc;
+      a_held = held;
+    }
+    :: s.f_accesses
+
+let record_field ctx held ~write ?value obj lid loc =
+  if not (obj_owned ctx obj) then
+    match field_cell ctx lid with
+    | None -> ()
+    | Some (cell, d_bool) ->
+      register_cell ctx cell ~bool:d_bool ~creator:None ~toplevel:false;
+      let bool_lit =
+        match value with Some v -> is_bool_lit v | None -> false
+      in
+      record_access ctx held ~cell ~write ~bool_lit loc
 
 let remove_last held name =
   let rec go = function
@@ -338,6 +809,14 @@ let rec walk ctx held e =
   match e.pexp_desc with
   | Pexp_ident { txt; _ } ->
     check_ident ctx (strip_stdlib (lid_path txt)) e.pexp_loc;
+    held
+  | Pexp_field (obj, { txt; _ }) ->
+    record_field ctx held ~write:false obj txt e.pexp_loc;
+    walk ctx held obj
+  | Pexp_setfield (obj, { txt; _ }, v) ->
+    record_field ctx held ~write:true ~value:v obj txt e.pexp_loc;
+    let held = walk ctx held obj in
+    ignore (walk ctx held v);
     held
   | Pexp_apply (hd, args) -> walk_apply ctx held e hd args
   | Pexp_sequence (a, b) ->
@@ -416,18 +895,38 @@ and walk_binding ctx held vb =
   match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
   | Ppat_var { txt = name; _ }, (Pexp_fun _ | Pexp_function _) ->
     (* A named local function: body runs at call time with no lexical
-       locks; register it so later calls pull in its acquisitions. *)
+       locks; register it so later calls pull in its acquisitions.
+       Outer tracked cells stay visible (closure capture); the owned
+       set does not — the body may run after publication. *)
     ctx.fn_stack <- name :: ctx.fn_stack;
     let key = fn_key ctx in
     ignore (summary ctx);
+    let saved_tracked = ctx.tracked and saved_owned = ctx.owned in
+    ctx.owned <- [];
     (match vb.pvb_expr.pexp_desc with
     | Pexp_fun (_, default, _, body) ->
       Option.iter (fun d -> ignore (walk ctx [] d)) default;
       ignore (walk ctx [] body)
     | Pexp_function cases -> List.iter (walk_case ctx []) cases
     | _ -> ());
+    ctx.tracked <- saved_tracked;
+    ctx.owned <- saved_owned;
     ctx.fn_stack <- List.tl ctx.fn_stack;
     ctx.locals <- (name, key) :: ctx.locals;
+    held
+  | Ppat_var { txt = name; _ }, _ ->
+    let held = walk ctx held vb.pvb_expr in
+    (* Rebinding the name invalidates any earlier classification. *)
+    ctx.tracked <- List.remove_assoc name ctx.tracked;
+    ctx.owned <- List.filter (fun o -> o <> name) ctx.owned;
+    (match creation_of vb.pvb_expr with
+    | Some is_bool ->
+      let cell = fn_key ctx ^ "." ^ name in
+      register_cell ctx cell ~bool:is_bool ~creator:(Some (fn_key ctx))
+        ~toplevel:false;
+      ctx.tracked <- (name, cell) :: ctx.tracked
+    | None ->
+      if is_record_literal vb.pvb_expr then ctx.owned <- name :: ctx.owned);
     held
   | _ -> walk ctx held vb.pvb_expr
 
@@ -465,13 +964,56 @@ and walk_apply ctx held e hd args =
         record_call ctx held_in (resolve ctx (strip_stdlib (lid_path txt))) loc
       | _ -> ignore (walk ctx held_in fn));
       held
-    | ("Thread.create" | "Domain.spawn"), _ ->
+    | "!", [ (_, a) ] ->
+      (match tracked_ident ctx a with
+      | Some cell ->
+        record_access ctx held ~cell ~write:false ~bool_lit:false loc
+      | None -> ());
+      walk_args held
+    | ":=", [ (_, a); (_, v) ] ->
+      (match tracked_ident ctx a with
+      | Some cell ->
+        record_access ctx held ~cell ~write:true ~bool_lit:(is_bool_lit v)
+          loc
+      | None -> ());
+      walk_args held
+    | ("incr" | "decr"), [ (_, a) ] ->
+      (match tracked_ident ctx a with
+      | Some cell ->
+        record_access ctx held ~cell ~write:true ~bool_lit:false loc
+      | None -> ());
+      walk_args held
+    | "Atomic.set", [ (_, t); (_, v) ] ->
+      (match atomic_target t with
+      | Some tgt when contains_atomic_get tgt v ->
+        report ctx ~rule:atomic_discipline loc
+          "Atomic.get-then-Atomic.set is not atomic: another thread can \
+           interleave between the read and the write — use \
+           Atomic.compare_and_set (or fetch_and_add / incr) instead"
+      | _ -> ());
+      walk_args held
+    | _, _ when List.mem path spawn_calls ->
       (* The spawned closure starts on a fresh stack: walk it with no
          held locks under an unreachable summary, so its acquisitions
-         never count as the spawner's. *)
+         never count as the spawner's.  Bare function arguments
+         ([Domain.spawn worker]) are recorded as calls from the spawn
+         frame so the escape pass can reach their bodies; the owned
+         set is cleared because the closure runs after publication. *)
       let tag = Printf.sprintf "<spawn:%d>" (line_of loc) in
       ctx.fn_stack <- tag :: ctx.fn_stack;
-      List.iter (fun (_, a) -> ignore (walk ctx [] a)) args;
+      let saved_owned = ctx.owned in
+      ctx.owned <- [];
+      List.iter
+        (fun (_, a) ->
+          (match a.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+            record_call ctx []
+              (resolve ctx (strip_stdlib (lid_path txt)))
+              a.pexp_loc
+          | _ -> ());
+          ignore (walk ctx [] a))
+        args;
+      ctx.owned <- saved_owned;
       ctx.fn_stack <- List.tl ctx.fn_stack;
       held
     | "Condition.wait", _ ->
@@ -483,6 +1025,16 @@ and walk_apply ctx held e hd args =
       walk_args held
     | _ ->
       check_ident ctx path loc;
+      (match container_access path with
+      | Some write ->
+        List.iter
+          (fun (_, a) ->
+            match tracked_ident ctx a with
+            | Some cell ->
+              record_access ctx held ~cell ~write ~bool_lit:false loc
+            | None -> ())
+          args
+      | None -> ());
       if List.mem path blocking_calls && held <> []
          && not (blocking_allowed ctx path)
       then
@@ -499,9 +1051,28 @@ and walk_apply ctx held e hd args =
 (* Structure traversal                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Module identity must be globally unique or two same-named files
+   merge: lib/simulation/engine.ml and lib/analysis/engine.ml both
+   keyed [Engine.run] once made the simulation's run loop "call" the
+   lint's own fixpoint.  Namespace each lib file by its dune library
+   wrapper (the parent directory, with the few dirs whose library name
+   differs aliased), which is also how cross-library source refers to
+   it; executables under bin/test/bench/examples stay bare so sibling
+   references ([Hunter.run_shape]) keep resolving. *)
+let wrapper_of_dir = function
+  | "history" -> "Histories"
+  | "quorum" -> "Quorums"
+  | "core" -> "Mwregister"
+  | d -> String.capitalize_ascii d
+
 let module_name_of_path path =
-  String.capitalize_ascii
-    (Filename.remove_extension (Filename.basename path))
+  let base =
+    String.capitalize_ascii
+      (Filename.remove_extension (Filename.basename path))
+  in
+  match Filename.basename (Filename.dirname path) with
+  | "" | "." | ".." | "lib" | "bin" | "test" | "bench" | "examples" -> base
+  | dir -> wrapper_of_dir dir ^ "." ^ base
 
 let rec walk_structure ctx items =
   List.iter
@@ -517,7 +1088,28 @@ let rec walk_structure ctx items =
             in
             ctx.fn_stack <- [ name ];
             ignore (summary ctx);
+            let saved_tracked = ctx.tracked and saved_owned = ctx.owned in
+            (* A top-level ref/array/table is a module-global cell:
+               visible to every function that follows.  Its own init
+               expression is the creator summary.  Top-level record
+               literals are NOT owned — a module-global record is
+               published to everyone by definition. *)
+            let top_cell =
+              if name <> "<top>" && creation_of vb.pvb_expr <> None then begin
+                let cell = ctx.modname ^ "." ^ name in
+                register_cell ctx cell
+                  ~bool:(creation_of vb.pvb_expr = Some true)
+                  ~creator:(Some (fn_key ctx)) ~toplevel:true;
+                Some (name, cell)
+              end
+              else None
+            in
             ignore (walk ctx [] vb.pvb_expr);
+            ctx.tracked <-
+              (match top_cell with
+              | Some tc -> tc :: saved_tracked
+              | None -> saved_tracked);
+            ctx.owned <- saved_owned;
             ctx.fn_stack <- [])
           vbs
       | Pstr_eval (e, _) ->
@@ -527,15 +1119,61 @@ let rec walk_structure ctx items =
       | Pstr_module { pmb_name = { txt = Some sub; _ }; pmb_expr; _ } -> (
         match pmb_expr.pmod_desc with
         | Pmod_structure sub_items ->
-          let saved_mod = ctx.modname and saved_locals = ctx.locals in
+          let saved_mod = ctx.modname
+          and saved_locals = ctx.locals
+          and saved_tracked = ctx.tracked in
           ctx.modname <- ctx.modname ^ "." ^ sub;
           ctx.locals <- [];
           walk_structure ctx sub_items;
           ctx.modname <- saved_mod;
-          ctx.locals <- saved_locals
+          ctx.locals <- saved_locals;
+          ctx.tracked <- saved_tracked
         | _ -> ())
       | _ -> ())
     items
+
+(* Decl pre-pass: record every mutable record label (and every
+   container-typed label — immutable [bool array] fields still hold
+   mutable contents) with its declaring module.  Runs over ALL sources
+   before any analysis pass so cross-module field accesses resolve no
+   matter the file order.  Atomic.t labels are exempt by construction:
+   atomics are the sanctioned lock-free primitive. *)
+let collect_decls st (src : Source.t) =
+  let add_decl modname (ld : label_declaration) =
+    let head = type_head ld.pld_type in
+    let mut = ld.pld_mutable = Asttypes.Mutable in
+    let tracked =
+      (mut || List.mem head container_heads) && head <> "Atomic.t"
+    in
+    let label = ld.pld_name.Asttypes.txt in
+    let dup =
+      List.exists
+        (fun d -> d.d_mod = modname)
+        (Hashtbl.find_all st.decls label)
+    in
+    if not dup then
+      Hashtbl.add st.decls label
+        { d_mod = modname; d_bool = head = "bool"; d_tracked = tracked }
+  in
+  let rec go modname items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_type (_, tds) ->
+          List.iter
+            (fun td ->
+              match td.ptype_kind with
+              | Ptype_record labels -> List.iter (add_decl modname) labels
+              | _ -> ())
+            tds
+        | Pstr_module { pmb_name = { txt = Some sub; _ }; pmb_expr; _ } -> (
+          match pmb_expr.pmod_desc with
+          | Pmod_structure sub_items -> go (modname ^ "." ^ sub) sub_items
+          | _ -> ())
+        | _ -> ())
+      items
+  in
+  go (module_name_of_path src.Source.path) src.Source.ast
 
 let analyze_file st (src : Source.t) =
   let ctx =
@@ -545,6 +1183,8 @@ let analyze_file st (src : Source.t) =
       modname = module_name_of_path src.Source.path;
       fn_stack = [];
       locals = [];
+      tracked = [];
+      owned = [];
       while_depth = 0;
     }
   in
@@ -674,8 +1314,10 @@ let lock_order_findings st =
       if cyclic (a, b) then
         {
           Finding.rule = lock_order;
+          severity = Finding.Error;
           file = site.s_file;
           line = site.s_line;
+          col = site.s_col;
           message =
             (if a = b then
                Printf.sprintf

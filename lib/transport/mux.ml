@@ -67,8 +67,8 @@ type mailbox = {
   (* Reused send path: the frame is encoded once per operation into
      [enc], blitted into [out], and the same bytes go to every
      connection — allocation-free once both have reached steady size. *)
-  enc : Buffer.t;
-  mutable out : Bytes.t;
+  mb_enc : Buffer.t;
+  mutable mb_out : Bytes.t;
 }
 
 type t = {
@@ -94,7 +94,7 @@ type t = {
   dropped : int Atomic.t;
   mutable demuxers : Thread.t list; (* joined on shutdown *)
   mutable ticker : Thread.t option;
-  mutable stopping : bool;
+  stopping : bool Atomic.t;
 }
 
 type handle = { mux : t; mb : mailbox }
@@ -198,7 +198,7 @@ let try_connect t c =
   | Some fd -> Some fd
   | None ->
     if
-      t.stopping || c.attempts > t.connect_retries
+      Atomic.get t.stopping || c.attempts > t.connect_retries
       || now () < c.next_attempt
     then None
     else begin
@@ -388,7 +388,7 @@ let ticker_body t () =
      not drag every blocked mailbox through the scheduler hundreds of
      times a second. *)
   let next_scan = ref (now () +. tick_period t) in
-  while not t.stopping do
+  while not (Atomic.get t.stopping) do
     let sleep =
       let tick = tick_period t in
       if not t.sub_tick then tick
@@ -459,7 +459,7 @@ let create ?(rt_timeout = 1.0) ?(max_rt_retries = 3) ?(connect_retries = 8)
       dropped = Atomic.make 0;
       demuxers = [];
       ticker = None;
-      stopping = false;
+      stopping = Atomic.make false;
     }
   in
   (* Optimistic first dial; failures just leave the conn in backoff. *)
@@ -486,8 +486,8 @@ let client t ~client =
       mb_started = 0;
       mb_completed = 0;
       mb_retried = 0;
-      enc = Buffer.create 256;
-      out = Bytes.create 256;
+      mb_enc = Buffer.create 256;
+      mb_out = Bytes.create 256;
     }
   in
   Mutex.protect t.routes_lock (fun () -> Hashtbl.replace t.routes client mb);
@@ -500,8 +500,7 @@ let release h =
       | _ -> ())
 
 let shutdown t =
-  if not t.stopping then begin
-    t.stopping <- true;
+  if not (Atomic.exchange t.stopping true) then begin
     (* Severing the sockets pops every demux thread out of [read] and
        fails any in-flight flusher's write. *)
     Array.iter
@@ -532,9 +531,13 @@ let shutdown t =
 
 let exec ?key h req k =
   let t = h.mux and mb = h.mb in
-  let rt = mb.mb_next_rt in
-  mb.mb_next_rt <- rt + 1;
-  mb.mb_started <- mb.mb_started + 1;
+  let rt =
+    Mutex.protect mb.mb_lock (fun () ->
+        let rt = mb.mb_next_rt in
+        mb.mb_next_rt <- rt + 1;
+        mb.mb_started <- mb.mb_started + 1;
+        rt)
+  in
   Mutex.protect mb.mb_lock (fun () ->
       mb.mb_rt <- rt;
       mb.mb_key <- key;
@@ -548,11 +551,11 @@ let exec ?key h req k =
     | None -> Codec.Request { rt; client = mb.client; req }
     | Some key -> Codec.Keyed_request { key; rt; client = mb.client; req }
   in
-  Codec.encode_into mb.enc frame;
-  let len = Buffer.length mb.enc in
-  if len > Bytes.length mb.out then
-    mb.out <- Bytes.create (max len (2 * Bytes.length mb.out));
-  Buffer.blit mb.enc 0 mb.out 0 len;
+  Codec.encode_into mb.mb_enc frame;
+  let len = Buffer.length mb.mb_enc in
+  if len > Bytes.length mb.mb_out then
+    mb.mb_out <- Bytes.create (max len (2 * Bytes.length mb.mb_out));
+  Buffer.blit mb.mb_enc 0 mb.mb_out 0 len;
   let attempt = ref 0 in
   let broadcast () =
     Array.iter
@@ -562,7 +565,7 @@ let exec ?key h req k =
            instant, and replica operations are idempotent. *)
         if not mb.mb_from.(c.index) then
           match t.faults with
-          | None -> ignore (enqueue t c mb.out len)
+          | None -> ignore (enqueue t c mb.mb_out len)
           | Some plan ->
             (* Salted by the attempt number: a frame dropped now draws
                afresh on the next re-broadcast. *)
@@ -576,15 +579,15 @@ let exec ?key h req k =
                   (* Park on the link's deadline queue — never sleep in
                      the sender: a delay scoped to this link must not
                      stall other clients' batches or the rest of this
-                     fan-out.  The payload is copied because [mb.out]
+                     fan-out.  The payload is copied because [mb.mb_out]
                      is reused by the next operation. *)
                   stage_delayed c ~due:(now () +. after)
-                    (Bytes.sub mb.out 0 len) truncated
+                    (Bytes.sub mb.mb_out 0 len) truncated
                 else if truncated then begin
-                  ignore (enqueue t c mb.out (max 1 (len / 2)));
+                  ignore (enqueue t c mb.mb_out (max 1 (len / 2)));
                   sever c
                 end
-                else ignore (enqueue t c mb.out len))
+                else ignore (enqueue t c mb.mb_out len))
               ds)
       t.conns
   in
@@ -615,7 +618,8 @@ let exec ?key h req k =
   mb.mb_replies <- [];
   Mutex.unlock mb.mb_lock;
   if nreplies >= t.quorum then begin
-    mb.mb_completed <- mb.mb_completed + 1;
+    Mutex.protect mb.mb_lock (fun () ->
+        mb.mb_completed <- mb.mb_completed + 1);
     k replies
   end
   else
@@ -624,12 +628,16 @@ let exec ?key h req k =
          (Printf.sprintf "client %d: %d/%d replies after %d attempts of %.3fs"
             mb.client nreplies t.quorum (!attempt + 1) t.rt_timeout))
 
-let rounds_started h = h.mb.mb_started
+let rounds_started h =
+  Mutex.protect h.mb.mb_lock (fun () -> h.mb.mb_started)
 
-let rounds_completed h = h.mb.mb_completed
+let rounds_completed h =
+  Mutex.protect h.mb.mb_lock (fun () -> h.mb.mb_completed)
 
-let late_replies h = h.mb.mb_late
+let late_replies h =
+  Mutex.protect h.mb.mb_lock (fun () -> h.mb.mb_late)
 
-let retries h = h.mb.mb_retried
+let retries h =
+  Mutex.protect h.mb.mb_lock (fun () -> h.mb.mb_retried)
 
 let dropped_replies t = Atomic.get t.dropped

@@ -4,17 +4,26 @@
    path-scoped allowlists exactly as a real file's path would, which is
    how the negatives for MONOTONIC-TIME / RAW-IO are expressed — and
    how the BLOCKING-UNDER-LOCK positives pin down that the old server
-   exemption really is gone. *)
+   exemption really is gone.
+
+   The shared-state rules (SHARED-ACCESS / ATOMIC-DISCIPLINE) are
+   whole-program: their fixtures are one or more full files fed to
+   [Engine.analyze] together, exercising the escape pass (spawn
+   origins, pre-spawn confinement) and the lock-ownership inference
+   (interprocedural held sets, majority owners, the two-locks case). *)
 
 open Analysis
 
 let check = Alcotest.check
 
-let rule_findings ~path src rule =
-  List.filter
-    (fun f -> f.Finding.rule = rule)
-    (Engine.analyze_string ~path src)
+let analyze_files files =
+  Engine.analyze
+    (List.map (fun (path, src) -> Source.parse_string ~path src) files)
 
+let rule_findings_in files rule =
+  List.filter (fun f -> f.Finding.rule = rule) (analyze_files files)
+
+let rule_findings ~path src rule = rule_findings_in [ (path, src) ] rule
 let count ~path src rule = List.length (rule_findings ~path src rule)
 
 let fires name ~path src rule =
@@ -22,6 +31,11 @@ let fires name ~path src rule =
 
 let quiet name ~path src rule =
   check Alcotest.int (name ^ ": quiet") 0 (count ~path src rule)
+
+let contains hay pat =
+  let n = String.length hay and m = String.length pat in
+  let rec go i = i + m <= n && (String.sub hay i m = pat || go (i + 1)) in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* MONOTONIC-TIME                                                      *)
@@ -179,36 +193,272 @@ let test_lock_order_negative () =
     Rules.lock_order
 
 (* ------------------------------------------------------------------ *)
+(* SHARED-ACCESS                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A module-global record field written by the main thread AND by a
+   closure spawned onto another thread, never under any lock. *)
+let shared_bare_src =
+  "type t = { mutable count : int }\n\
+   let g = { count = 0 }\n\
+   let bump () = g.count <- g.count + 1\n\
+   let run () = ignore (Thread.create bump ()); bump ()\n"
+
+let test_shared_access_positive () =
+  fires "bare cross-thread field" ~path:"test/fix_bare.ml" shared_bare_src
+    Rules.shared_access;
+  (* The spawned closure re-enters the spawner's module: the escape
+     pass must follow the call from the spawn frame back into [touch]
+     and still see two origins. *)
+  fires "spawned closure re-enters its module" ~path:"test/fix_reenter.ml"
+    "type t = { mutable hits : int }\n\
+     let g = { hits = 0 }\n\
+     let touch () = g.hits <- g.hits + 1\n\
+     let run () = ignore (Thread.create (fun () -> touch ()) ()); touch ()\n"
+    Rules.shared_access
+
+let test_shared_access_partial_coverage () =
+  (* Guarded at bump's two sites, bare in sneak: the finding lands on
+     the bare site, not on the covered ones. *)
+  let fs =
+    rule_findings ~path:"test/fix_partial.ml"
+      "type t = { mutable count : int }\n\
+       let g = { count = 0 }\n\
+       let m = Mutex.create ()\n\
+       let bump () = Mutex.protect m (fun () -> g.count <- g.count + 1)\n\
+       let sneak () = g.count <- 0\n\
+       let run () = ignore (Thread.create bump ()); sneak ()\n"
+      Rules.shared_access
+  in
+  check Alcotest.int "one bare site" 1 (List.length fs);
+  match fs with
+  | [ f ] ->
+    check Alcotest.int "anchored at sneak's line" 5 f.Finding.line;
+    check Alcotest.bool "names the inferred owner" true
+      (contains f.Finding.message "bare here")
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_shared_access_two_locks () =
+  (* The same field guarded by two DIFFERENT locks in two different
+     modules: the locks do not exclude each other, so the minority
+     site must be reported even though no site is bare. *)
+  let fs =
+    rule_findings_in
+      [
+        ( "test/locka.ml",
+          "type t = { mutable shared : int }\n\
+           let g = { shared = 0 }\n\
+           let la = Mutex.create ()\n\
+           let bump () = Mutex.protect la (fun () -> g.shared <- g.shared + 1)\n\
+           let run () = ignore (Thread.create bump ()); Lockb.poke ()\n" );
+        ( "test/lockb.ml",
+          "let lb = Mutex.create ()\n\
+           let poke () = Mutex.protect lb (fun () -> Locka.g.shared <- 0)\n" );
+      ]
+      Rules.shared_access
+  in
+  check Alcotest.int "minority-lock site reported" 1 (List.length fs);
+  match fs with
+  | [ f ] ->
+    check Alcotest.string "reported in the minority module" "test/lockb.ml"
+      f.Finding.file;
+    check Alcotest.bool "explains the non-exclusion" true
+      (contains f.Finding.message "two different locks")
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_shared_access_negative () =
+  (* Every thread-shared site under one mutex: fully guarded. *)
+  quiet "fully guarded cell" ~path:"test/fix_guarded.ml"
+    "type t = { mutable count : int }\n\
+     let g = { count = 0 }\n\
+     let m = Mutex.create ()\n\
+     let bump () = Mutex.protect m (fun () -> g.count <- g.count + 1)\n\
+     let run () = ignore (Thread.create bump ()); bump ()\n"
+    Rules.shared_access;
+  (* The lock is held by the CALLER: the interprocedural held-at-entry
+     fixpoint must credit raw's accesses with m. *)
+  quiet "lock held across a call" ~path:"test/fix_interproc.ml"
+    "type t = { mutable n : int }\n\
+     let g = { n = 0 }\n\
+     let m = Mutex.create ()\n\
+     let raw () = g.n <- g.n + 1\n\
+     let bump () = Mutex.protect m (fun () -> raw ())\n\
+     let run () = ignore (Thread.create bump ()); bump ()\n"
+    Rules.shared_access;
+  (* Written only before the spawn, read by nobody else afterwards:
+     one thread origin, nothing to race with. *)
+  quiet "field only accessed pre-spawn" ~path:"test/fix_prespawn.ml"
+    "type t = { mutable count : int }\n\
+     let g = { count = 0 }\n\
+     let init () = g.count <- 1\n\
+     let worker () = print_newline ()\n\
+     let run () = init (); ignore (Thread.create worker ())\n"
+    Rules.shared_access
+
+(* ------------------------------------------------------------------ *)
+(* ATOMIC-DISCIPLINE                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_discipline_positive () =
+  (* The classic racy shutdown flag: plain bool store in one thread,
+     plain load in the spin loop of another. *)
+  fires "plain bool flag across threads" ~path:"test/fix_flag.ml"
+    "type t = { mutable stop : bool }\n\
+     let g = { stop = false }\n\
+     let worker () = while not g.stop do ignore 0 done\n\
+     let run () = ignore (Thread.create worker ()); g.stop <- true\n"
+    Rules.atomic_discipline;
+  (* Atomic.get feeding Atomic.set of the same cell is a lost-update
+     window regardless of sharing: a single-file rule. *)
+  fires "get-then-set is not an RMW" ~path:"test/fix_rmw.ml"
+    "let c = Atomic.make 0\n\
+     let bump () = Atomic.set c (Atomic.get c + 1)\n"
+    Rules.atomic_discipline
+
+let test_atomic_discipline_negative () =
+  quiet "Atomic.t flag" ~path:"test/fix_atomic.ml"
+    "type t = { stop : bool Atomic.t }\n\
+     let g = { stop = Atomic.make false }\n\
+     let worker () = while not (Atomic.get g.stop) do ignore 0 done\n\
+     let run () = ignore (Thread.create worker ()); Atomic.set g.stop true\n"
+    Rules.atomic_discipline;
+  quiet "real RMW primitives" ~path:"test/fix_cas.ml"
+    "let c = Atomic.make 0\n\
+     let bump () = Atomic.incr c\n\
+     let flip f = Atomic.compare_and_set f false true\n"
+    Rules.atomic_discipline
+
+(* ------------------------------------------------------------------ *)
+(* File-order determinism                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Cross-file resolution (decl scoring, callee lookup) must not depend
+   on scan order: the same fixture set in any order yields byte-equal
+   reports.  This is the property the CLI's sorted [find_ml_files] and
+   the baseline keys lean on. *)
+let order_fixtures =
+  [
+    ("test/fix_bare.ml", shared_bare_src);
+    ( "test/locka.ml",
+      "type t = { mutable shared : int }\n\
+       let g = { shared = 0 }\n\
+       let la = Mutex.create ()\n\
+       let bump () = Mutex.protect la (fun () -> g.shared <- g.shared + 1)\n\
+       let run () = ignore (Thread.create bump ()); Lockb.poke ()\n" );
+    ( "test/lockb.ml",
+      "let lb = Mutex.create ()\n\
+       let poke () = Mutex.protect lb (fun () -> Locka.g.shared <- 0)\n" );
+    ( "test/fix_flag.ml",
+      "type t = { mutable stop : bool }\n\
+       let g = { stop = false }\n\
+       let worker () = while not g.stop do ignore 0 done\n\
+       let run () = ignore (Thread.create worker ()); g.stop <- true\n" );
+  ]
+
+let render fs = String.concat "\n" (List.map Finding.to_string fs)
+
+let order_stability_property =
+  let reference = render (analyze_files order_fixtures) in
+  QCheck.Test.make ~name:"findings independent of file order" ~count:30
+    (QCheck.make (QCheck.Gen.shuffle_l order_fixtures))
+    (fun files -> render (analyze_files files) = reference)
+
+(* ------------------------------------------------------------------ *)
 (* Baseline mechanics                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let finding rule file line =
-  { Finding.rule; file; line; message = "m" }
+let finding ?(col = 1) rule file line =
+  { Finding.rule; severity = Finding.Error; file; line; col; message = "m" }
+
+let entry ?col rule file line =
+  { Baseline.rule; file; line; col; justification = "j" }
 
 let test_baseline_apply () =
   let entries =
+    [ entry ~col:5 "RAW-IO" "lib/a.ml" 3; entry ~col:9 "RAW-IO" "lib/b.ml" 9 ]
+  in
+  let fs =
     [
-      { Baseline.rule = "RAW-IO"; file = "lib/a.ml"; line = 3; justification = "j" };
-      { Baseline.rule = "RAW-IO"; file = "lib/b.ml"; line = 9; justification = "j" };
+      finding ~col:5 "RAW-IO" "lib/a.ml" 3; finding ~col:5 "RAW-IO" "lib/a.ml" 4;
     ]
   in
-  let fs = [ finding "RAW-IO" "lib/a.ml" 3; finding "RAW-IO" "lib/a.ml" 4 ] in
   let fresh, stale = Baseline.apply ~entries fs in
   check Alcotest.int "one unsuppressed finding" 1 (List.length fresh);
   check Alcotest.int "one stale entry" 1 (List.length stale);
-  (match stale with
-  | [ e ] -> check Alcotest.string "stale is the b.ml entry" "lib/b.ml" e.Baseline.file
-  | _ -> Alcotest.fail "expected exactly one stale entry")
+  match stale with
+  | [ e ] ->
+    check Alcotest.string "stale is the b.ml entry" "lib/b.ml" e.Baseline.file
+  | _ -> Alcotest.fail "expected exactly one stale entry"
+
+let test_baseline_col_is_identity () =
+  (* Same rule/file/line at another column is a DIFFERENT finding: a
+     column-bearing entry must not swallow it. *)
+  let fresh, stale =
+    Baseline.apply
+      ~entries:[ entry ~col:5 "SHARED-ACCESS" "lib/a.ml" 3 ]
+      [ finding ~col:11 "SHARED-ACCESS" "lib/a.ml" 3 ]
+  in
+  check Alcotest.int "column mismatch is not suppressed" 1 (List.length fresh);
+  check Alcotest.int "entry is stale" 1 (List.length stale)
+
+let test_baseline_old_format_matches_any_col () =
+  (* Deprecated column-less entry: matches any column on its line for
+     one release, so pre-migration baselines keep suppressing. *)
+  let fresh, stale =
+    Baseline.apply
+      ~entries:[ entry "SHARED-ACCESS" "lib/a.ml" 3 ]
+      [ finding ~col:11 "SHARED-ACCESS" "lib/a.ml" 3 ]
+  in
+  check Alcotest.int "old-format entry suppresses" 0 (List.length fresh);
+  check Alcotest.int "and is not stale" 0 (List.length stale)
+
+let test_baseline_load_formats () =
+  let tmp = Filename.temp_file "mwlint" ".baseline" in
+  let oc = open_out tmp in
+  output_string oc
+    "# comment\nRAW-IO lib/a.ml:3:7 reviewed\nRAW-IO lib/b.ml:9 legacy\n";
+  close_out oc;
+  let r = Baseline.load tmp in
+  Sys.remove tmp;
+  match r with
+  | Error e -> Alcotest.fail ("load failed: " ^ e)
+  | Ok [ a; b ] ->
+    check Alcotest.(option int) "new format carries the column" (Some 7)
+      a.Baseline.col;
+    check Alcotest.int "new format line" 3 a.Baseline.line;
+    check Alcotest.(option int) "old format has no column" None b.Baseline.col;
+    check Alcotest.int "old format line" 9 b.Baseline.line
+  | Ok l -> Alcotest.failf "expected two entries, got %d" (List.length l)
 
 let test_baseline_load_rejects_bare () =
   let tmp = Filename.temp_file "mwlint" ".baseline" in
   let oc = open_out tmp in
-  output_string oc "RAW-IO lib/a.ml:3\n";
+  output_string oc "RAW-IO lib/a.ml:3:7\n";
   close_out oc;
   let r = Baseline.load tmp in
   Sys.remove tmp;
   check Alcotest.bool "justification-less line rejected" true
     (match r with Ok _ -> false | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* JSON output                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_finding_json () =
+  let f =
+    {
+      Finding.rule = "SHARED-ACCESS";
+      severity = Finding.Error;
+      file = "lib/a \"b\".ml";
+      line = 3;
+      col = 7;
+      message = "say \"hi\"\tnow";
+    }
+  in
+  check Alcotest.string "one object per line, escapes intact"
+    "{\"rule\":\"SHARED-ACCESS\",\"severity\":\"error\",\"file\":\"lib/a \
+     \\\"b\\\".ml\",\"line\":3,\"col\":7,\"message\":\"say \\\"hi\\\"\\tnow\"}"
+    (Finding.to_json f)
 
 (* ------------------------------------------------------------------ *)
 
@@ -245,10 +495,32 @@ let () =
           Alcotest.test_case "positive" `Quick test_lock_order_positive;
           Alcotest.test_case "negative" `Quick test_lock_order_negative;
         ] );
+      ( "shared-access",
+        [
+          Alcotest.test_case "positive" `Quick test_shared_access_positive;
+          Alcotest.test_case "partial coverage" `Quick
+            test_shared_access_partial_coverage;
+          Alcotest.test_case "two locks, two modules" `Quick
+            test_shared_access_two_locks;
+          Alcotest.test_case "negative" `Quick test_shared_access_negative;
+        ] );
+      ( "atomic-discipline",
+        [
+          Alcotest.test_case "positive" `Quick test_atomic_discipline_positive;
+          Alcotest.test_case "negative" `Quick test_atomic_discipline_negative;
+        ] );
+      ("determinism", [ QCheck_alcotest.to_alcotest order_stability_property ]);
       ( "baseline",
         [
           Alcotest.test_case "apply partitions" `Quick test_baseline_apply;
+          Alcotest.test_case "column is identity" `Quick
+            test_baseline_col_is_identity;
+          Alcotest.test_case "old format matches any column" `Quick
+            test_baseline_old_format_matches_any_col;
+          Alcotest.test_case "load accepts both formats" `Quick
+            test_baseline_load_formats;
           Alcotest.test_case "load rejects bare suppressions" `Quick
             test_baseline_load_rejects_bare;
         ] );
+      ("json", [ Alcotest.test_case "finding to_json" `Quick test_finding_json ]);
     ]
